@@ -1,0 +1,115 @@
+"""Figure 3: the colour-composite image produced by the full fusion pipeline.
+
+The paper shows the composite of the full 210-frame data set and reports that
+contrast is "significantly improved" and that the camouflaged vehicle in the
+lower-left corner is "significantly enhanced against its background".  This
+benchmark regenerates the composite from the synthetic collection, times the
+end-to-end fusion and quantifies both claims with a signal-to-clutter target
+contrast metric:
+
+* the composite separates the vehicles at least as well as the *best* of the
+  210 raw bands and far better than a typical (median) band -- without an
+  analyst having to know which band to look at, and
+* the camouflaged vehicle specifically is enhanced beyond every raw band and
+  beyond the unscreened (plain PCT) composite, which is the paper's central
+  motivation for spectral screening.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import fusion_config, record_report
+from repro.analysis.quality import rms_contrast, target_contrast
+from repro.analysis.report import format_table
+from repro.baselines.plain_pct import PlainPCT
+from repro.core.pipeline import SpectralScreeningPCT
+
+
+def camouflage_mask(cube):
+    mask = np.zeros(cube.metadata["target_mask"].shape, dtype=bool)
+    for vehicle in cube.metadata["vehicles"]:
+        if vehicle.camouflaged:
+            mask[vehicle.row:vehicle.row + vehicle.height,
+                 vehicle.col:vehicle.col + vehicle.width] = True
+    return mask
+
+
+def band_contrast_statistics(cube, mask, stride=5):
+    values = np.array([target_contrast(cube.band(b), mask)
+                       for b in range(0, cube.bands, stride)])
+    return float(np.median(values)), float(values.max())
+
+
+@pytest.fixture(scope="module")
+def figure3_results(figure4_cube):
+    cube = figure4_cube
+    config = fusion_config(workers=1, subcubes=2)
+    screened = SpectralScreeningPCT(config).fuse(cube)
+    plain = PlainPCT(config).fuse(cube)
+    return screened, plain
+
+
+def test_fig3_color_composite(benchmark, figure4_cube, figure3_results):
+    cube = figure4_cube
+    all_targets = cube.metadata["target_mask"]
+    camo = camouflage_mask(cube)
+    screened, plain = figure3_results
+
+    config = fusion_config(workers=1, subcubes=2)
+    benchmark.pedantic(lambda: SpectralScreeningPCT(config).fuse(cube),
+                       rounds=1, iterations=1)
+
+    median_band, best_band = band_contrast_statistics(cube, all_targets)
+    camo_median_band, camo_best_band = band_contrast_statistics(cube, camo)
+    fused = target_contrast(screened.composite, all_targets)
+    fused_camo = target_contrast(screened.composite, camo)
+    plain_camo = target_contrast(plain.composite, camo)
+
+    rows = [
+        ["all vehicles", median_band, best_band,
+         target_contrast(plain.composite, all_targets), fused],
+        ["camouflaged vehicle", camo_median_band, camo_best_band, plain_camo, fused_camo],
+    ]
+    table = format_table(
+        ["target", "median raw band", "best raw band", "plain PCT composite",
+         "screened PCT composite"],
+        rows,
+        title=(f"Figure 3 analogue: target contrast (signal-to-clutter) of the fused "
+               f"composite vs the raw bands "
+               f"({cube.bands} bands, {cube.rows}x{cube.cols}, K={screened.unique_set_size})"))
+    extra = format_table(
+        ["metric", "value"],
+        [["unique set size (K)", screened.unique_set_size],
+         ["variance captured by 3 PCs", float(screened.basis.explained_variance_ratio()[:3].sum())],
+         ["composite RMS contrast", rms_contrast(screened.composite.mean(axis=-1))]],
+        title="composite summary")
+    record_report("Figure 3 - colour-composite fusion result", table + "\n\n" + extra)
+
+    # --- the paper's qualitative claims, made quantitative -----------------
+    assert screened.composite.shape == (cube.rows, cube.cols, 3)
+    # Improved contrast: the single composite separates the targets far better
+    # than a typical raw band and at least as well as the best raw band.
+    assert fused > 1.3 * median_band
+    assert fused > 0.95 * best_band
+    # The camouflaged vehicle is enhanced against its background: better than
+    # every raw band and clearly detectable.
+    assert fused_camo > camo_best_band
+    assert fused_camo > 1.5 * camo_median_band
+
+
+def test_fig3_screening_preserves_camouflaged_target(benchmark, figure4_cube,
+                                                     figure3_results):
+    """Spectral screening's motivating claim: without it, the statistics are
+    dominated by the frequent background materials and the rare camouflaged
+    signature is washed out of the leading components."""
+    cube = figure4_cube
+    camo = camouflage_mask(cube)
+    screened, plain = figure3_results
+
+    benchmark.pedantic(lambda: target_contrast(screened.composite, camo),
+                       rounds=1, iterations=1)
+
+    screened_camo = target_contrast(screened.composite, camo)
+    plain_camo = target_contrast(plain.composite, camo)
+    assert screened_camo > plain_camo, (
+        "screening should enhance the camouflaged vehicle relative to plain PCT")

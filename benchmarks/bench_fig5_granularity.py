@@ -1,0 +1,67 @@
+"""Figure 5: granularity control.
+
+The paper decomposes the 320x320x105 cube into #sub-cubes equal to 1x, 2x and
+3x the number of workers and shows that over-decomposition lets computation
+and communication overlap, improving run time -- until the sub-cubes become
+so small (past ~32 for this problem size) that per-message overhead dominates
+and performance tails off.
+
+This benchmark regenerates the three Figure 5 series over 2, 4, 8 and 16
+workers and an additional tail-off sweep at 16 workers, via
+:func:`repro.experiments.run_figure5`.
+"""
+
+import pytest
+
+from _bench_utils import fusion_config, record_report
+from repro.config import PAPER_SETUP
+from repro.core.distributed import DistributedPCT
+from repro.experiments import run_figure5
+
+#: Sub-cube counts swept to expose the tail-off past the paper's ~32 sub-cubes.
+TAIL_OFF_SUBCUBES = (16, 32, 48, 96, 128)
+
+
+@pytest.fixture(scope="module")
+def figure5_result(figure5_cube):
+    return run_figure5(figure5_cube, tail_off_subcubes=TAIL_OFF_SUBCUBES)
+
+
+def test_fig5_granularity_control(benchmark, figure5_cube, figure5_result):
+    result = figure5_result
+
+    # Representative single point for pytest-benchmark.
+    config = fusion_config(16, 32)
+    benchmark.pedantic(lambda: DistributedPCT(config).fuse(figure5_cube),
+                       rounds=1, iterations=1)
+
+    record_report("Figure 5 - granularity control", result.report())
+
+    for workers in PAPER_SETUP.figure5_processors:
+        base = result.curves[1].time_at(workers)
+        doubled = result.curves[2].time_at(workers)
+        tripled = result.curves[3].time_at(workers)
+        # Over-decomposition by 2x enables computation/communication overlap.
+        assert doubled < base, (
+            f"2x over-decomposition should be faster at P={workers}")
+        # 3x is comparable to 2x (the paper's curves nearly coincide).
+        assert tripled < base
+        assert abs(tripled - doubled) / doubled < 0.25
+        # The improvement is a genuine, measurable effect.
+        assert result.improvement_from_overlap(workers) > 0.0
+
+
+def test_fig5_tail_off_past_32_subcubes(benchmark, figure5_cube, figure5_result):
+    times = figure5_result.tail_off
+    # Representative point at the finest decomposition (runs under --benchmark-only).
+    benchmark.pedantic(
+        lambda: DistributedPCT(fusion_config(16, max(TAIL_OFF_SUBCUBES))).fuse(figure5_cube),
+        rounds=1, iterations=1)
+
+    best_subcubes = figure5_result.best_subcubes()
+    # The sweet spot lies in the paper's 2-3x over-decomposition region ...
+    assert 32 <= best_subcubes <= 96
+    # ... and decomposing far beyond it stops helping (tail-off).
+    assert times[max(TAIL_OFF_SUBCUBES)] >= times[best_subcubes]
+    # The coarsest decomposition is never the best one.
+    assert times[16] > times[best_subcubes]

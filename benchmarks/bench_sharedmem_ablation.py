@@ -1,0 +1,48 @@
+"""Shared-memory ablation (Section 4, closing paragraph).
+
+The paper notes that on a shared-memory multiprocessor the concurrent
+algorithm "operates within 5% of linear speedup on a wide range of problem
+sizes and machine sizes" because no network communication is involved.  This
+benchmark runs the same distributed algorithm on the shared-memory cluster
+preset and on the 100BaseT LAN preset (via
+:func:`repro.experiments.run_shared_memory_comparison`) and compares their
+efficiency.
+"""
+
+import pytest
+
+from _bench_utils import fusion_config, record_report
+from repro.cluster.presets import shared_memory_smp
+from repro.core.distributed import DistributedPCT
+from repro.experiments import run_shared_memory_comparison
+
+PROCESSORS = (1, 2, 4, 8)
+SUBCUBES = 16
+
+
+@pytest.fixture(scope="module")
+def shared_memory_result(figure5_cube):
+    return run_shared_memory_comparison(figure5_cube, processors=PROCESSORS,
+                                        subcubes=SUBCUBES)
+
+
+def test_sharedmem_within_five_percent_of_linear(benchmark, figure5_cube,
+                                                 shared_memory_result):
+    result = shared_memory_result
+
+    config = fusion_config(PROCESSORS[-1], SUBCUBES)
+    benchmark.pedantic(
+        lambda: DistributedPCT(config,
+                               cluster=shared_memory_smp(PROCESSORS[-1])).fuse(figure5_cube),
+        rounds=1, iterations=1)
+
+    record_report("Section 4 - shared-memory multiprocessor ablation", result.report())
+
+    smp_efficiency = result.smp.efficiency()
+    lan_efficiency = result.lan.efficiency()
+    for workers in PROCESSORS[1:]:
+        # The SMP runs essentially without communication overhead.
+        assert smp_efficiency[workers] > 0.93, (
+            f"SMP efficiency at {workers} processors should be within ~5% of linear")
+        # And it is never less efficient than the LAN.
+        assert smp_efficiency[workers] >= lan_efficiency[workers] - 1e-9

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Camouflaged-vehicle detection: why spectral screening matters.
+
+The paper's motivating scenario (Section 3 and Figure 3) is a mechanised
+vehicle hidden under camouflage netting in a foliated scene: in the raw data
+it is nearly invisible, and a plain principal-component fusion tends to wash
+it out because the statistics are dominated by the abundant background.  The
+spectral-screening PCT gives the rare signature equal weight, so the fused
+composite shows it clearly.
+
+This example reproduces that story end to end on synthetic data:
+
+1. build a scene with several vehicles in the open and one under camouflage,
+2. fuse it three ways -- best single raw band, plain PCT, spectral-screening
+   PCT -- and compare how strongly the camouflaged vehicle stands out,
+3. run a simple detector (chromatic anomaly threshold on the composite) and
+   report hits/false alarms for each variant.
+
+Run with::
+
+    python examples/camouflage_detection.py [--size 128] [--bands 96]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import FusionConfig, HydiceGenerator
+from repro.analysis.quality import best_band_contrast, target_contrast
+from repro.analysis.report import format_table
+from repro.baselines.plain_pct import PlainPCT
+from repro.core.pipeline import SpectralScreeningPCT
+from repro.data.hydice import HydiceConfig
+
+
+def camouflage_mask(cube) -> np.ndarray:
+    mask = np.zeros(cube.metadata["target_mask"].shape, dtype=bool)
+    for vehicle in cube.metadata["vehicles"]:
+        if vehicle.camouflaged:
+            mask[vehicle.row:vehicle.row + vehicle.height,
+                 vehicle.col:vehicle.col + vehicle.width] = True
+    return mask
+
+
+def chromatic_anomaly_detector(composite: np.ndarray, percentile: float = 98.0) -> np.ndarray:
+    """Flag pixels whose colour deviates most from the scene's mean colour.
+
+    This is deliberately the simplest possible post-processing step ("detect
+    edges ... and use structural information" is left to downstream tools in
+    the paper); it only demonstrates that the information is present in the
+    composite.
+    """
+    flat = composite.reshape(-1, 3)
+    mean = flat.mean(axis=0)
+    covariance = np.cov(flat, rowvar=False) + 1e-9 * np.eye(3)
+    inverse = np.linalg.inv(covariance)
+    centred = flat - mean
+    mahalanobis = np.einsum("ij,jk,ik->i", centred, inverse, centred)
+    threshold = np.percentile(mahalanobis, percentile)
+    return (mahalanobis >= threshold).reshape(composite.shape[:2])
+
+
+def detection_score(detections: np.ndarray, truth: np.ndarray) -> tuple:
+    hits = int(np.count_nonzero(detections & truth))
+    false_alarms = int(np.count_nonzero(detections & ~truth))
+    return hits, false_alarms
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=128)
+    parser.add_argument("--bands", type=int, default=96)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print("Generating a foliated scene with camouflaged and open vehicles ...")
+    cube = HydiceGenerator(HydiceConfig(bands=args.bands, rows=args.size, cols=args.size,
+                                        seed=args.seed, vehicles=3,
+                                        camouflaged_vehicles=1)).generate()
+    camo = camouflage_mask(cube)
+    all_targets = cube.metadata["target_mask"]
+    print(f"  scene {cube.rows}x{cube.cols}, {int(all_targets.sum())} vehicle pixels, "
+          f"{int(camo.sum())} of them camouflaged")
+
+    config = FusionConfig()
+    print("Fusing with the spectral-screening PCT and with plain PCT ...")
+    screened = SpectralScreeningPCT(config).fuse(cube)
+    plain = PlainPCT(config).fuse(cube)
+    best_band_index, best_band_value = best_band_contrast(cube, camo, stride=2)
+
+    rows = [
+        ["best raw band", f"band {best_band_index}", best_band_value,
+         *detection_score(chromatic_anomaly_detector(
+             np.repeat(cube.band(best_band_index)[..., None], 3, axis=-1)), camo)],
+        ["plain PCT composite", f"K={plain.unique_set_size}",
+         target_contrast(plain.composite, camo),
+         *detection_score(chromatic_anomaly_detector(plain.composite), camo)],
+        ["spectral-screening PCT", f"K={screened.unique_set_size}",
+         target_contrast(screened.composite, camo),
+         *detection_score(chromatic_anomaly_detector(screened.composite), camo)],
+    ]
+    print(format_table(
+        ["variant", "statistics", "camouflage contrast", "hit pixels", "false alarms"],
+        rows, title="Camouflaged-vehicle separability"))
+
+    screened_contrast = target_contrast(screened.composite, camo)
+    plain_contrast = target_contrast(plain.composite, camo)
+    print(f"\nSpectral screening improves the camouflaged-vehicle contrast by "
+          f"{screened_contrast / max(plain_contrast, 1e-9):.2f}x over plain PCT "
+          f"and {screened_contrast / max(best_band_value, 1e-9):.2f}x over the best raw band.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Granularity tuning: choosing the number of sub-cubes (the paper's Figure 5).
+
+The manager/worker decomposition splits the image cube into sub-cubes; how
+many to use is a tuning decision.  Too few (one per worker) and communication
+cannot be overlapped with computation; too many and per-message overhead
+starts to dominate.  The paper studies this for a 320x320x105 cube and finds
+the sweet spot at roughly 2-3x the number of workers, tailing off past ~32
+sub-cubes.
+
+This example runs the same study on the simulated cluster for a problem size
+of your choosing and prints the resulting table, together with the advice the
+resource manager would give.
+
+Run with::
+
+    python examples/granularity_tuning.py [--workers 8] [--size 128] [--bands 64]
+"""
+
+import argparse
+
+from repro import DistributedPCT, FusionConfig, HydiceGenerator, PartitionConfig
+from repro.analysis.report import format_table
+from repro.data.hydice import HydiceConfig
+from repro.resilience.resource import ResourceManager
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--size", type=int, default=128)
+    parser.add_argument("--bands", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--multipliers", type=int, nargs="+", default=[1, 2, 3, 4, 6])
+    args = parser.parse_args()
+
+    print("Generating the collection ...")
+    cube = HydiceGenerator(HydiceConfig(bands=args.bands, rows=args.size, cols=args.size,
+                                        seed=args.seed)).generate()
+
+    rows = []
+    best = None
+    for multiplier in args.multipliers:
+        subcubes = args.workers * multiplier
+        if subcubes > cube.rows:
+            continue
+        config = FusionConfig(partition=PartitionConfig(workers=args.workers,
+                                                        subcubes=subcubes))
+        outcome = DistributedPCT(config).fuse(cube)
+        metrics = outcome.metrics
+        rows.append([multiplier, subcubes, outcome.elapsed_seconds,
+                     metrics.messages, metrics.bytes_sent / 1e6,
+                     metrics.mean_utilisation()])
+        if best is None or outcome.elapsed_seconds < best[1]:
+            best = (subcubes, outcome.elapsed_seconds)
+
+    print(format_table(
+        ["multiplier", "sub-cubes", "time (virtual s)", "messages", "MB on the wire",
+         "mean node utilisation"],
+        rows,
+        title=(f"Granularity sweep at {args.workers} workers "
+               f"({args.bands} bands, {args.size}x{args.size})")))
+
+    advised = ResourceManager.suggest_subcubes(args.workers, multiplier=2)
+    print(f"\nBest measured decomposition : {best[0]} sub-cubes ({best[1]:.2f} virtual s)")
+    print(f"Resource-manager suggestion : {advised} sub-cubes "
+          f"(2x workers, capped at the paper's ~32 sub-cube tail-off point)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: generate a synthetic HYDICE scene and fuse it.
+
+This is the five-minute tour of the library:
+
+1. generate a small synthetic hyper-spectral collection (the stand-in for the
+   paper's HYDICE data),
+2. inspect two raw spectral frames (the paper's Figure 2),
+3. run the sequential spectral-screening PCT pipeline (Section 3), and
+4. look at what came out: the colour composite (Figure 3), the principal
+   component basis, and how strongly the embedded vehicles stand out.
+
+Run it with::
+
+    python examples/quickstart.py [--bands 64] [--size 96] [--out composite.npz]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import FusionConfig, HydiceGenerator, SpectralScreeningPCT
+from repro.analysis.quality import enhancement_report
+from repro.analysis.report import dict_table
+from repro.data.hydice import HydiceConfig
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bands", type=int, default=64,
+                        help="number of spectral channels (the paper uses 210)")
+    parser.add_argument("--size", type=int, default=96,
+                        help="spatial extent in pixels (the paper uses 320)")
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--out", default=None, help="optional .npz to store the composite")
+    args = parser.parse_args()
+
+    # 1. Synthetic HYDICE collection: a foliated scene with a road, open
+    #    vehicles and one camouflaged vehicle, observed over 400-2500 nm.
+    print("Generating the synthetic HYDICE collection ...")
+    cube = HydiceGenerator(HydiceConfig(bands=args.bands, rows=args.size,
+                                        cols=args.size, seed=args.seed)).generate()
+    print(f"  cube: {cube.bands} bands x {cube.rows} x {cube.cols} pixels "
+          f"({cube.nbytes_estimate() / 1e6:.1f} MB)")
+
+    # 2. Figure 2 analogue: two raw frames from opposite ends of the spectrum.
+    for wavelength in (400.0, 1998.0):
+        index, frame = cube.band_nearest(wavelength)
+        print(f"  raw frame near {wavelength:6.0f} nm -> band {index:3d}, "
+              f"mean={frame.mean():8.1f}, std={frame.std():7.1f}")
+
+    # 3. The spectral-screening PCT pipeline (all eight steps of Section 3).
+    print("\nFusing with the sequential spectral-screening PCT ...")
+    engine = SpectralScreeningPCT(FusionConfig())
+    result = engine.fuse(cube)
+
+    # 4. What came out.
+    summary = {
+        "composite shape": str(result.composite.shape),
+        "unique set size (K)": result.unique_set_size,
+        "variance captured by 3 PCs":
+            f"{result.basis.explained_variance_ratio()[:3].sum():.3f}",
+        "estimated work (GFLOP)": f"{result.total_flops() / 1e9:.2f}",
+    }
+    target_mask = cube.metadata["target_mask"]
+    report = enhancement_report(cube, result.composite, target_mask)
+    summary["best single-band target contrast"] = f"{report['raw_contrast']:.2f}"
+    summary["fused composite target contrast"] = f"{report['fused_contrast']:.2f}"
+    print(dict_table("fusion summary", summary))
+
+    if args.out:
+        np.savez_compressed(args.out, composite=result.composite,
+                            components=result.components,
+                            eigenvalues=result.basis.eigenvalues)
+        print(f"\nWrote the composite to {args.out}")
+        print("Load it with numpy and display composite[:, :, :3] as an RGB image.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

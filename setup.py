@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` works in fully offline environments: without network
+access pip cannot create the isolated build environment required by a
+``[build-system]`` table, and falls back to the legacy ``setup.py develop``
+code path, which only needs the setuptools already present on the machine.
+"""
+
+from setuptools import setup
+
+setup()

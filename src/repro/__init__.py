@@ -1,0 +1,48 @@
+"""Resilient Image Fusion: reproduction of Achalakul, Lee & Taylor (ICPP 2000).
+
+The library has four layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.data`        -- synthetic HYDICE-like hyper-spectral scenes,
+* :mod:`repro.scp`         -- the SCPlib-like message-passing runtime with a
+  real-thread backend and a discrete-event simulated-cluster backend,
+* :mod:`repro.resilience`  -- computational resiliency: replication,
+  detection, regeneration, reconfiguration, attacks, camouflage,
+* :mod:`repro.core`        -- the spectral-screening PCT fusion algorithm in
+  sequential, distributed and resilient forms.
+
+Quick start::
+
+    from repro import HydiceGenerator, SpectralScreeningPCT
+
+    cube = HydiceGenerator.quicklook_cube()
+    result = SpectralScreeningPCT().fuse(cube)
+    print(result.composite.shape, result.unique_set_size)
+"""
+
+from .config import (FusionConfig, PAPER_SETUP, PaperSetup, PartitionConfig,
+                     ResilienceConfig, ScreeningConfig)
+from .core import (DistributedPCT, DistributedRunOutcome, FusionResult,
+                   ResilientPCT, ResilientRunOutcome, SpectralScreeningPCT)
+from .data import HydiceConfig, HydiceGenerator, HyperspectralCube, generate_cube
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FusionConfig",
+    "PAPER_SETUP",
+    "PaperSetup",
+    "PartitionConfig",
+    "ResilienceConfig",
+    "ScreeningConfig",
+    "DistributedPCT",
+    "DistributedRunOutcome",
+    "FusionResult",
+    "ResilientPCT",
+    "ResilientRunOutcome",
+    "SpectralScreeningPCT",
+    "HydiceConfig",
+    "HydiceGenerator",
+    "HyperspectralCube",
+    "generate_cube",
+    "__version__",
+]

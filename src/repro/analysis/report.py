@@ -1,0 +1,106 @@
+"""Plain-text tables and figure series for the benchmark harness.
+
+The paper's evaluation is presented as two charts (Figures 4 and 5) plus
+prose claims.  The benchmark harness regenerates them as text tables printed
+to stdout and captured into ``bench_output.txt``; this module owns the
+formatting so every benchmark prints consistent, diff-able rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .speedup import OverheadDecomposition, SpeedupCurve
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 *, title: Optional[str] = None, float_fmt: str = "{:.3f}") -> str:
+    """Render a fixed-width text table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    rendered_rows = [[render(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def figure4_table(no_resiliency: SpeedupCurve, resiliency: SpeedupCurve,
+                  *, replication_level: int = 2) -> str:
+    """The Figure 4 series: time vs processors, with and without resiliency."""
+    headers = ["processors", "time_no_resiliency_s", "time_resiliency_s",
+               "speedup_plain", "speedup_resilient", "efficiency_plain"]
+    speed_plain = no_resiliency.speedup()
+    speed_res = resiliency.speedup()
+    eff_plain = no_resiliency.efficiency()
+    rows = []
+    res_by_p = {p.processors: p.elapsed_seconds for p in resiliency.sorted_points()}
+    for point in no_resiliency.sorted_points():
+        p = point.processors
+        rows.append([
+            p,
+            point.elapsed_seconds,
+            res_by_p.get(p, float("nan")),
+            speed_plain[p],
+            speed_res.get(p, float("nan")),
+            eff_plain[p],
+        ])
+    return format_table(headers, rows,
+                        title=f"Figure 4: speed-up with and without resiliency "
+                              f"(replication level {replication_level})")
+
+
+def overhead_table(decompositions: Sequence[OverheadDecomposition]) -> str:
+    """The Section 4 overhead decomposition (replication + ~10% protocols)."""
+    headers = ["processors", "plain_s", "resilient_s", "total_slowdown",
+               "replication_factor", "protocol_overhead"]
+    rows = [[d.processors, d.plain_seconds, d.resilient_seconds, d.total_slowdown,
+             d.replication_factor, d.protocol_overhead_fraction]
+            for d in decompositions]
+    return format_table(headers, rows,
+                        title="Resiliency overhead decomposition "
+                              "(protocol overhead is beyond the cost of replication)")
+
+
+def figure5_table(curves: Mapping[int, SpeedupCurve]) -> str:
+    """The Figure 5 series: time vs processors per granularity multiplier.
+
+    ``curves`` maps granularity multiplier (1, 2, 3) to its timing curve.
+    """
+    multipliers = sorted(curves)
+    processors = sorted({p.processors for curve in curves.values()
+                         for p in curve.sorted_points()})
+    headers = ["processors"] + [f"#sub-cube=#proc x {m}" for m in multipliers]
+    rows = []
+    for p in processors:
+        row: List[object] = [p]
+        for m in multipliers:
+            try:
+                row.append(curves[m].time_at(p))
+            except KeyError:
+                row.append(float("nan"))
+        rows.append(row)
+    return format_table(headers, rows,
+                        title="Figure 5: granularity control (seconds)")
+
+
+def dict_table(title: str, values: Mapping[str, object]) -> str:
+    """Render a flat mapping as a two-column table."""
+    return format_table(["metric", "value"],
+                        [[k, v] for k, v in values.items()], title=title)
+
+
+__all__ = ["format_table", "figure4_table", "figure5_table", "overhead_table",
+           "dict_table"]

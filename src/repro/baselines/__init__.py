@@ -1,0 +1,6 @@
+"""Comparison baselines: unscreened PCT and static (non-regenerating) replication."""
+
+from .plain_pct import PlainPCT
+from .static_replication import StaticReplicationPCT
+
+__all__ = ["PlainPCT", "StaticReplicationPCT"]

@@ -1,0 +1,78 @@
+"""Baseline: plain PCT without spectral screening.
+
+The paper motivates spectral screening as a guard against the PCT
+"highlighting only the variation that dominates numerically": without it, a
+rare target's signature is swamped by the statistics of the dominant
+background.  This baseline computes the statistics over *all* pixel vectors
+of the image (the classical PCA-based fusion) so the screening ablation
+benchmark can quantify how much the screening actually buys in target
+contrast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import FusionConfig
+from ..core.pipeline import FusionResult
+from ..core.steps.colormap import color_map, component_statistics
+from ..core.steps.statistics import covariance_matrix, covariance_sum, mean_vector
+from ..core.steps.transform import (project, project_cube_block,
+                                    transformation_matrix)
+from ..data.cube import HyperspectralCube
+
+
+class PlainPCT:
+    """Principal component fusion with image-wide (unscreened) statistics.
+
+    Parameters
+    ----------
+    config:
+        Only the colour-map section is used.
+    n_components:
+        Number of retained principal components (>= 3).
+    statistics_stride:
+        Optional pixel stride used when accumulating the covariance; 1 uses
+        every pixel exactly as the textbook PCA would.
+    """
+
+    def __init__(self, config: Optional[FusionConfig] = None, *, n_components: int = 3,
+                 statistics_stride: int = 1) -> None:
+        if n_components < 3:
+            raise ValueError("at least 3 components are required for colour mapping")
+        if statistics_stride < 1:
+            raise ValueError("statistics_stride must be >= 1")
+        self.config = config or FusionConfig()
+        self.n_components = n_components
+        self.statistics_stride = statistics_stride
+
+    def fuse(self, cube: HyperspectralCube) -> FusionResult:
+        """Fuse ``cube`` with unscreened, image-wide statistics."""
+        pixels = cube.as_pixel_matrix()
+        sample = pixels[:: self.statistics_stride]
+
+        mean = mean_vector(sample)
+        cov = covariance_matrix([covariance_sum(sample, mean)], total_pixels=sample.shape[0])
+        basis = transformation_matrix(cov, mean, n_components=self.n_components)
+
+        stretch_mean, stretch_std = component_statistics(project(sample, basis))
+        components = project_cube_block(cube.data, basis)
+        composite = color_map(components, mean=stretch_mean, std=stretch_std,
+                              normalize=self.config.colormap.normalize_components)
+
+        metadata: Dict[str, object] = {
+            "mode": "plain-pct",
+            "n_components": self.n_components,
+            "statistics_stride": self.statistics_stride,
+            "bands": cube.bands,
+            "rows": cube.rows,
+            "cols": cube.cols,
+        }
+        return FusionResult(composite=composite, components=components, basis=basis,
+                            unique_set_size=int(sample.shape[0]), phase_flops={},
+                            metadata=metadata)
+
+
+__all__ = ["PlainPCT"]

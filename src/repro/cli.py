@@ -1,0 +1,207 @@
+"""Command-line front end.
+
+``repro-fusion`` (installed by the package) or ``python -m repro.cli`` exposes
+the three fusion engines and the synthetic data generator without writing any
+Python::
+
+    repro-fusion generate --bands 64 --rows 96 --cols 96 --out scene.npz
+    repro-fusion fuse scene.npz --mode sequential --out composite.npz
+    repro-fusion fuse scene.npz --mode resilient --workers 8 --attack worker.2
+    repro-fusion sweep --workers 1 2 4 8 --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .analysis.quality import enhancement_report
+from .analysis.report import dict_table
+from .config import FusionConfig, PartitionConfig, ResilienceConfig
+from .core.distributed import DistributedPCT
+from .core.pipeline import SpectralScreeningPCT
+from .core.resilient import ResilientPCT
+from .data.cube import HyperspectralCube
+from .data.hydice import HydiceConfig, HydiceGenerator
+from .logging_utils import configure_basic_logging
+from .resilience.attack import AttackScenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fusion",
+        description="Resilient spectral-screening PCT image fusion (ICPP 2000 reproduction)")
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument("--verbose", action="store_true", help="enable progress logging")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    gen = subparsers.add_parser("generate", help="generate a synthetic HYDICE-like cube")
+    gen.add_argument("--bands", type=int, default=105)
+    gen.add_argument("--rows", type=int, default=128)
+    gen.add_argument("--cols", type=int, default=128)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--vehicles", type=int, default=3)
+    gen.add_argument("--camouflaged", type=int, default=1)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    fuse = subparsers.add_parser("fuse", help="fuse a cube into a colour composite")
+    fuse.add_argument("cube", help="input .npz cube (from the generate command)")
+    fuse.add_argument("--mode", choices=["sequential", "distributed", "resilient"],
+                      default="sequential")
+    fuse.add_argument("--workers", type=int, default=4)
+    fuse.add_argument("--subcubes", type=int, default=None)
+    fuse.add_argument("--replication", type=int, default=2)
+    fuse.add_argument("--attack", default=None,
+                      help="logical worker to attack mid-run (resilient mode only)")
+    fuse.add_argument("--out", default=None, help="optional output .npz for the composite")
+
+    sweep = subparsers.add_parser("sweep", help="run a small speed-up sweep (Figure 4 style)")
+    sweep.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4, 8])
+    sweep.add_argument("--scale", type=float, default=0.25,
+                       help="spatial scale of the paper's 320x320 cube")
+    sweep.add_argument("--bands", type=int, default=105)
+    sweep.add_argument("--seed", type=int, default=0)
+
+    figure4 = subparsers.add_parser(
+        "figure4", help="regenerate the paper's Figure 4 (speed-up with/without resiliency)")
+    figure4.add_argument("--scale", type=float, default=0.25,
+                         help="spatial scale of the paper's 320x320 cube")
+    figure4.add_argument("--bands", type=int, default=210)
+    figure4.add_argument("--subcubes", type=int, default=32)
+    figure4.add_argument("--processors", type=int, nargs="+", default=[1, 2, 4, 8, 16])
+    figure4.add_argument("--seed", type=int, default=0)
+
+    figure5 = subparsers.add_parser(
+        "figure5", help="regenerate the paper's Figure 5 (granularity control)")
+    figure5.add_argument("--scale", type=float, default=0.25)
+    figure5.add_argument("--bands", type=int, default=105)
+    figure5.add_argument("--processors", type=int, nargs="+", default=[2, 4, 8, 16])
+    figure5.add_argument("--multipliers", type=int, nargs="+", default=[1, 2, 3])
+    figure5.add_argument("--no-tail-off", action="store_true",
+                         help="skip the tail-off sweep at 16 workers")
+    figure5.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = HydiceConfig(bands=args.bands, rows=args.rows, cols=args.cols, seed=args.seed,
+                          vehicles=args.vehicles, camouflaged_vehicles=args.camouflaged)
+    cube = HydiceGenerator(config).generate()
+    cube.save_npz(args.out)
+    print(f"wrote {cube.bands}x{cube.rows}x{cube.cols} cube to {args.out}")
+    return 0
+
+
+def _cmd_fuse(args: argparse.Namespace) -> int:
+    cube = HyperspectralCube.load_npz(args.cube)
+    config = FusionConfig(partition=PartitionConfig(workers=args.workers,
+                                                    subcubes=args.subcubes))
+    if args.mode == "sequential":
+        result = SpectralScreeningPCT(config).fuse(cube)
+        elapsed = None
+    elif args.mode == "distributed":
+        outcome = DistributedPCT(config).fuse(cube)
+        result, elapsed = outcome.result, outcome.elapsed_seconds
+    else:
+        resilience = ResilienceConfig(replication_level=args.replication)
+        attack = (AttackScenario.single_worker_kill(args.attack, at=1.0)
+                  if args.attack else None)
+        outcome = ResilientPCT(config.with_resilience(resilience), attack=attack).fuse(cube)
+        result, elapsed = outcome.result, outcome.elapsed_seconds
+
+    summary = {
+        "mode": result.metadata.get("mode"),
+        "unique_set_size": result.unique_set_size,
+        "composite_shape": str(result.composite.shape),
+    }
+    if elapsed is not None:
+        summary["virtual_seconds"] = f"{elapsed:.2f}"
+    label_map = cube.metadata.get("target_mask")
+    if label_map is not None:
+        report = enhancement_report(cube, result.composite, label_map)
+        summary["fused_target_contrast"] = f"{report['fused_contrast']:.2f}"
+        summary["enhancement_factor"] = f"{report['enhancement_factor']:.2f}"
+    print(dict_table("fusion summary", summary))
+
+    if args.out:
+        np.savez_compressed(args.out, composite=result.composite,
+                            components=result.components)
+        print(f"wrote composite to {args.out}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.report import figure4_table
+    from .analysis.speedup import SpeedupCurve
+
+    cube = HydiceGenerator.paper_granularity_cube(scale=args.scale, seed=args.seed)
+    if args.bands != cube.bands:
+        cube = HydiceGenerator(HydiceConfig(bands=args.bands, rows=cube.rows,
+                                            cols=cube.cols, seed=args.seed)).generate()
+    plain = SpeedupCurve("no resiliency")
+    resilient = SpeedupCurve("resiliency level 2")
+    for workers in args.workers:
+        config = FusionConfig(partition=PartitionConfig(workers=workers,
+                                                        subcubes=workers * 2))
+        plain.add(workers, DistributedPCT(config).fuse(cube).elapsed_seconds)
+        res_config = config.with_resilience(ResilienceConfig(execute_replicas=False))
+        resilient.add(workers, ResilientPCT(res_config).fuse(cube).elapsed_seconds)
+    print(figure4_table(plain, resilient))
+    return 0
+
+
+def _figure_cube(bands: int, scale: float, seed: int):
+    rows = cols = max(32, int(round(320 * scale)))
+    return HydiceGenerator(HydiceConfig(bands=bands, rows=rows, cols=cols,
+                                        seed=seed)).generate()
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from .experiments import run_figure4
+
+    cube = _figure_cube(args.bands, args.scale, args.seed)
+    print(f"Running the Figure 4 sweep on a {cube.bands}x{cube.rows}x{cube.cols} cube ...")
+    result = run_figure4(cube, processors=tuple(args.processors), subcubes=args.subcubes)
+    print(result.report())
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    from .experiments import run_figure5
+
+    cube = _figure_cube(args.bands, args.scale, args.seed)
+    print(f"Running the Figure 5 sweep on a {cube.bands}x{cube.rows}x{cube.cols} cube ...")
+    tail_off = () if args.no_tail_off else (16, 32, 48, 96, 128)
+    result = run_figure5(cube, processors=tuple(args.processors),
+                         multipliers=tuple(args.multipliers),
+                         tail_off_subcubes=tail_off)
+    print(result.report())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-fusion`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        configure_basic_logging()
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "fuse":
+        return _cmd_fuse(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "figure4":
+        return _cmd_figure4(args)
+    if args.command == "figure5":
+        return _cmd_figure5(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

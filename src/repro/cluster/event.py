@@ -1,0 +1,173 @@
+"""Deterministic discrete-event engine.
+
+The simulated backend of the SCP runtime (:mod:`repro.scp.sim_backend`) and
+the cluster hardware models are all driven by a single event queue.  The
+engine is intentionally small: a binary heap of ``(time, tie_breaker, Event)``
+entries plus a monotonically increasing tie-breaker so that events scheduled
+for the same instant fire in insertion order.  That property is what makes
+whole simulated runs -- including fault injection and recovery -- bit-for-bit
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the event engine is used inconsistently."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    order: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute virtual time (seconds) at which the callback fires.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Human-readable description used in traces and error messages.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    callback: Callable[[], None]
+    label: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventEngine:
+    """Heap-based discrete-event scheduler with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[_QueueEntry] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ API
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events that have fired so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return sum(1 for entry in self._heap if not entry.event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; scheduling in the past would break the
+        causality of the simulation and is treated as a programming error.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {label!r} in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at t={time} before current time t={self._now}")
+        event = Event(time=time, callback=callback, label=label)
+        heapq.heappush(self._heap, _QueueEntry(time, next(self._counter), event))
+        return event
+
+    def step(self) -> bool:
+        """Fire the next non-cancelled event.  Returns False if none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            self._now = entry.time
+            self._processed += 1
+            entry.event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would advance past this time (the event at
+            exactly ``until`` still fires).
+        max_events:
+            Safety limit on the number of events processed; exceeding it
+            raises :class:`SimulationError` (it almost always indicates a
+            livelock in a protocol under test).
+
+        Returns
+        -------
+        float
+            The virtual time at which the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("EventEngine.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                entry = self._heap[0]
+                if entry.event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and entry.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"event limit exceeded ({max_events} events); possible livelock")
+                heapq.heappop(self._heap)
+                self._now = entry.time
+                self._processed += 1
+                fired += 1
+                entry.event.callback()
+        finally:
+            self._running = False
+        return self._now
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next pending event, or None."""
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock without firing events (no pending earlier events allowed)."""
+        nxt = self.peek_time()
+        if nxt is not None and nxt < time:
+            raise SimulationError(
+                f"cannot advance to t={time}: event pending at t={nxt}")
+        if time < self._now:
+            raise SimulationError(f"cannot move clock backwards to t={time}")
+        self._now = time
+
+
+__all__ = ["Event", "EventEngine", "SimulationError"]

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: the spectral-screening PCT fusion engine.
+
+Three entry points share one algorithm implementation:
+
+* :class:`~repro.core.pipeline.SpectralScreeningPCT` -- sequential reference,
+* :class:`~repro.core.distributed.DistributedPCT` -- manager/worker on the
+  SCP runtime (simulated cluster or real threads),
+* :class:`~repro.core.resilient.ResilientPCT` -- the distributed engine with
+  computational resiliency (replication, detection, regeneration) applied.
+"""
+
+from .distributed import (MANAGER_NAME, WORKER_PREFIX, DistributedPCT,
+                          DistributedRunOutcome, worker_name)
+from .manager import manager_program
+from .messages import (ALL_PHASES, PHASE_COVARIANCE, PHASE_SCREEN,
+                       PHASE_TRANSFORM, PORT_HELLO, PORT_RESULT, PORT_TASK,
+                       StopWork, TaskAssignment, TaskResult, WorkerHello)
+from .partition import (SubcubeSpec, decompose, extract_subcube, granularity_for,
+                        merge_subcubes, reassemble_composite, split_subcube,
+                        subcube_pixel_matrix)
+from .pipeline import FusionResult, SpectralScreeningPCT
+from .resilient import ResilientPCT, ResilientRunOutcome
+from .worker import worker_program
+
+__all__ = [
+    "MANAGER_NAME",
+    "WORKER_PREFIX",
+    "DistributedPCT",
+    "DistributedRunOutcome",
+    "worker_name",
+    "manager_program",
+    "worker_program",
+    "ALL_PHASES",
+    "PHASE_COVARIANCE",
+    "PHASE_SCREEN",
+    "PHASE_TRANSFORM",
+    "PORT_HELLO",
+    "PORT_RESULT",
+    "PORT_TASK",
+    "StopWork",
+    "TaskAssignment",
+    "TaskResult",
+    "WorkerHello",
+    "SubcubeSpec",
+    "decompose",
+    "extract_subcube",
+    "granularity_for",
+    "merge_subcubes",
+    "reassemble_composite",
+    "split_subcube",
+    "subcube_pixel_matrix",
+    "FusionResult",
+    "SpectralScreeningPCT",
+    "ResilientPCT",
+    "ResilientRunOutcome",
+]

@@ -1,0 +1,209 @@
+"""Distributed (manager/worker) spectral-screening PCT.
+
+:class:`DistributedPCT` assembles the manager and worker thread programs into
+an SCP :class:`~repro.scp.runtime.Application`, runs it on a chosen backend
+and returns both the fusion output and the run metrics.  Two backends are
+supported out of the box:
+
+``backend="sim"``
+    The deterministic discrete-event simulation of a workstation LAN
+    (default: the paper's 16-node Sun/100BaseT preset).  This is the backend
+    the performance figures are regenerated with.
+
+``backend="local"``
+    Real Python threads on the host; used by the integration tests to
+    exercise genuine concurrency and fault injection.
+
+The composite produced is identical across backends and identical to the
+sequential :class:`~repro.core.pipeline.SpectralScreeningPCT` reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..cluster.machine import Cluster
+from ..cluster.metrics import RunMetrics
+from ..cluster.presets import sun_ultra_lan
+from ..config import FusionConfig
+from ..data.cube import HyperspectralCube
+from ..scp.local_backend import LocalBackend
+from ..scp.runtime import Application, Backend, RunResult
+from ..scp.sim_backend import ProtocolConfig, SimBackend
+from ..scp.topology import CommunicationStructure
+from .manager import manager_program
+from .pipeline import FusionResult
+from .worker import worker_program
+
+MANAGER_NAME = "manager"
+WORKER_PREFIX = "worker"
+
+
+def worker_name(index: int) -> str:
+    """Logical name of the ``index``-th worker thread."""
+    return f"{WORKER_PREFIX}.{index}"
+
+
+@dataclass
+class DistributedRunOutcome:
+    """Everything a distributed fusion run produces.
+
+    Attributes
+    ----------
+    result:
+        The :class:`~repro.core.pipeline.FusionResult` returned by the manager.
+    metrics:
+        Run metrics (elapsed virtual/wall time, traffic, per-phase compute).
+    run:
+        The raw backend :class:`~repro.scp.runtime.RunResult` for detailed
+        inspection (per-replica outcomes and so on).
+    """
+
+    result: FusionResult
+    metrics: RunMetrics
+    run: RunResult
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.metrics.elapsed_seconds
+
+
+class DistributedPCT:
+    """Manager/worker fusion engine on the SCP runtime.
+
+    Parameters
+    ----------
+    config:
+        Fusion configuration; ``config.partition.workers`` sets the number of
+        worker threads and ``config.partition.subcubes`` the decomposition
+        granularity.
+    cluster:
+        Optional explicit cluster model for the simulated backend; defaults
+        to :func:`~repro.cluster.presets.sun_ultra_lan` sized to the worker
+        count (plus a dedicated manager node).
+    backend:
+        ``"sim"``, ``"local"``, or an already-constructed
+        :class:`~repro.scp.runtime.Backend` instance.
+    n_components:
+        Principal components retained (>= 3).
+    prefetch:
+        Outstanding tasks per worker (communication/computation overlap).
+    reassign_timeout:
+        Optional manager-side timeout after which outstanding tasks are
+        redistributed; ``None`` (default) relies purely on the resiliency
+        layer for recovery.
+    protocol:
+        Optional :class:`~repro.scp.sim_backend.ProtocolConfig` for the
+        simulated backend (used by the resilient wrapper to charge protocol
+        overheads).
+    """
+
+    def __init__(self, config: Optional[FusionConfig] = None, *,
+                 cluster: Optional[Cluster] = None,
+                 backend: Union[str, Backend] = "sim",
+                 n_components: int = 3,
+                 full_projection: bool = True,
+                 prefetch: int = 2,
+                 reassign_timeout: Optional[float] = None,
+                 protocol: Optional[ProtocolConfig] = None,
+                 share_replica_results: bool = True) -> None:
+        self.config = config or FusionConfig()
+        self.cluster = cluster
+        self.backend_choice = backend
+        self.n_components = n_components
+        self.full_projection = full_projection
+        self.prefetch = prefetch
+        self.reassign_timeout = reassign_timeout
+        self.protocol = protocol
+        self.share_replica_results = share_replica_results
+
+    # ----------------------------------------------------------- application
+    @property
+    def workers(self) -> int:
+        return self.config.partition.workers
+
+    def worker_names(self) -> list:
+        return [worker_name(i) for i in range(self.workers)]
+
+    def build_application(self, cube: HyperspectralCube, *,
+                          worker_replicas: int = 1) -> Application:
+        """Construct the SCP application for ``cube``.
+
+        ``worker_replicas`` is the replication level applied to every worker
+        thread (the manager is never replicated, as in the paper).
+        """
+        structure = CommunicationStructure.manager_worker(self.workers,
+                                                          manager=MANAGER_NAME,
+                                                          worker_prefix=WORKER_PREFIX)
+        app = Application(structure, name="spectral-screening-pct")
+        app.add_thread(
+            MANAGER_NAME, manager_program,
+            params={
+                "cube": cube,
+                "config": self.config,
+                "worker_names": self.worker_names(),
+                "n_components": self.n_components,
+                "full_projection": self.full_projection,
+                "prefetch": self.prefetch,
+                "reassign_timeout": self.reassign_timeout,
+            },
+            critical=False,
+            memory_bytes=cube.nbytes_estimate(),
+        )
+        worker_memory = cube.nbytes_estimate() // max(self.workers, 1)
+        for name in self.worker_names():
+            app.add_thread(
+                name, worker_program,
+                params={"manager": MANAGER_NAME, "config": self.config},
+                replicas=worker_replicas,
+                critical=True,
+                memory_bytes=worker_memory,
+            )
+        return app
+
+    # --------------------------------------------------------------- backend
+    def make_backend(self) -> Backend:
+        """Instantiate the execution backend chosen at construction time."""
+        if isinstance(self.backend_choice, Backend):
+            return self.backend_choice
+        if self.backend_choice == "local":
+            return LocalBackend()
+        if self.backend_choice == "sim":
+            cluster = self.cluster or sun_ultra_lan(self.workers)
+            return SimBackend(cluster,
+                              pinned={MANAGER_NAME: "manager"}
+                              if "manager" in cluster.node_names else None,
+                              protocol=self.protocol,
+                              share_replica_results=self.share_replica_results)
+        raise ValueError(f"unknown backend {self.backend_choice!r}; "
+                         f"expected 'sim', 'local' or a Backend instance")
+
+    # ------------------------------------------------------------------ fuse
+    def fuse(self, cube: HyperspectralCube, *,
+             backend: Optional[Backend] = None) -> "DistributedRunOutcome":
+        """Run the distributed fusion and return result plus metrics."""
+        backend = backend or self.make_backend()
+        app = self.build_application(cube)
+        run = self._execute(backend, app)
+        return self._package(cube, run)
+
+    def _execute(self, backend: Backend, app: Application) -> RunResult:
+        if isinstance(backend, SimBackend):
+            return backend.run(app)
+        if isinstance(backend, LocalBackend):
+            return backend.run(app, until_thread=MANAGER_NAME)
+        return backend.run(app)
+
+    def _package(self, cube: HyperspectralCube, run: RunResult) -> "DistributedRunOutcome":
+        result = run.return_of(MANAGER_NAME)
+        if not isinstance(result, FusionResult):
+            raise TypeError(f"manager returned {type(result).__name__}, expected FusionResult")
+        metrics = run.metrics
+        metrics.workers = self.workers
+        metrics.subcubes = max(self.config.partition.effective_subcubes, self.workers)
+        return DistributedRunOutcome(result=result, metrics=metrics, run=run)
+
+
+__all__ = ["DistributedPCT", "DistributedRunOutcome", "worker_name",
+           "MANAGER_NAME", "WORKER_PREFIX"]

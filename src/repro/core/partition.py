@@ -1,0 +1,174 @@
+"""Sub-cube decomposition and granularity control.
+
+The distributed algorithm divides the hyper-spectral cube into *sub-cubes*
+along the spatial (row) axis; each sub-cube is one unit of work handed to a
+worker.  Section 4 of the paper (Figure 5) studies the effect of the number
+of sub-cubes relative to the number of workers: decomposing into 2-3x more
+sub-cubes than workers allows communication to be overlapped with
+computation, while decomposing too finely (beyond ~32 sub-cubes for the
+320x320x105 cube) makes per-message overhead dominate.
+
+This module owns that decomposition and the small helpers the resource
+manager uses to reason about granularity (merging / splitting work units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.cube import HyperspectralCube
+
+
+@dataclass(frozen=True)
+class SubcubeSpec:
+    """One unit of work: a contiguous block of scene rows.
+
+    Attributes
+    ----------
+    task_id:
+        Dense index of the sub-cube, 0..subcubes-1.
+    row_start / row_stop:
+        Half-open row range of the block.
+    """
+
+    task_id: int
+    row_start: int
+    row_stop: int
+
+    @property
+    def rows(self) -> int:
+        return self.row_stop - self.row_start
+
+    def pixel_count(self, cols: int) -> int:
+        return self.rows * cols
+
+
+def decompose(cube_rows: int, subcubes: int) -> List[SubcubeSpec]:
+    """Split ``cube_rows`` scene rows into ``subcubes`` contiguous blocks.
+
+    Blocks differ in size by at most one row, so load imbalance introduced by
+    the decomposition itself is negligible.
+    """
+    if subcubes < 1:
+        raise ValueError("subcubes must be >= 1")
+    if subcubes > cube_rows:
+        raise ValueError(f"cannot create {subcubes} sub-cubes from {cube_rows} rows")
+    edges = np.linspace(0, cube_rows, subcubes + 1, dtype=int)
+    return [SubcubeSpec(task_id=i, row_start=int(edges[i]), row_stop=int(edges[i + 1]))
+            for i in range(subcubes)]
+
+
+def extract_subcube(cube: HyperspectralCube, spec: SubcubeSpec) -> np.ndarray:
+    """Materialise the ``(bands, block_rows, cols)`` array of one sub-cube.
+
+    A copy is taken so the payload shipped to a worker is exactly the block
+    (both for communication-cost realism and to avoid accidentally sharing
+    the full cube's memory in the local backend).
+    """
+    if not 0 <= spec.row_start < spec.row_stop <= cube.rows:
+        raise ValueError(f"sub-cube {spec} out of range for cube with {cube.rows} rows")
+    return np.ascontiguousarray(cube.data[:, spec.row_start:spec.row_stop, :])
+
+
+def subcube_pixel_matrix(block: np.ndarray) -> np.ndarray:
+    """Reshape a ``(bands, rows, cols)`` block to a ``(pixels, bands)`` matrix."""
+    if block.ndim != 3:
+        raise ValueError("expected a 3-D sub-cube block")
+    bands = block.shape[0]
+    return block.reshape(bands, -1).T
+
+
+def reassemble_composite(blocks: Sequence[Tuple[SubcubeSpec, np.ndarray]],
+                         rows: int, cols: int, channels: int = 3) -> np.ndarray:
+    """Stitch per-sub-cube RGB blocks back into the full composite image.
+
+    Raises
+    ------
+    ValueError
+        If the blocks do not tile the full row range exactly once.
+    """
+    composite = np.zeros((rows, cols, channels), dtype=np.float64)
+    covered = np.zeros(rows, dtype=bool)
+    for spec, block in blocks:
+        block = np.asarray(block)
+        expected = (spec.rows, cols, channels)
+        if block.shape != expected:
+            raise ValueError(f"block for {spec} has shape {block.shape}, expected {expected}")
+        if covered[spec.row_start:spec.row_stop].any():
+            raise ValueError(f"rows {spec.row_start}:{spec.row_stop} are covered twice")
+        composite[spec.row_start:spec.row_stop] = block
+        covered[spec.row_start:spec.row_stop] = True
+    if not covered.all():
+        missing = int(np.count_nonzero(~covered))
+        raise ValueError(f"composite is missing {missing} rows")
+    return composite
+
+
+# --------------------------------------------------------------------------
+# Granularity helpers
+# --------------------------------------------------------------------------
+
+def granularity_for(workers: int, multiplier: int = 2, *, cube_rows: Optional[int] = None,
+                    cap: Optional[int] = None) -> int:
+    """Number of sub-cubes for a worker count and granularity multiplier.
+
+    ``multiplier=1`` reproduces the paper's ``#sub-cube = #proc`` series,
+    2 and 3 the over-decomposed series of Figure 5.  The result is optionally
+    capped (the paper observes performance tails off past 32 sub-cubes for
+    its problem size) and never exceeds the number of scene rows.
+    """
+    if workers < 1 or multiplier < 1:
+        raise ValueError("workers and multiplier must be >= 1")
+    subcubes = workers * multiplier
+    if cap is not None:
+        subcubes = min(subcubes, cap)
+    if cube_rows is not None:
+        subcubes = min(subcubes, cube_rows)
+    return max(subcubes, workers) if cube_rows is None or cube_rows >= workers else cube_rows
+
+
+def merge_subcubes(specs: Sequence[SubcubeSpec], factor: int = 2) -> List[SubcubeSpec]:
+    """Coarsen a decomposition by merging ``factor`` adjacent sub-cubes.
+
+    Used by the resource manager's granularity control (Watts & Taylor 1998
+    in the paper's references): when communication overhead dominates,
+    adjacent work units are merged into larger ones.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    ordered = sorted(specs, key=lambda s: s.row_start)
+    merged: List[SubcubeSpec] = []
+    for i in range(0, len(ordered), factor):
+        group = ordered[i:i + factor]
+        for a, b in zip(group, group[1:]):
+            if a.row_stop != b.row_start:
+                raise ValueError("can only merge adjacent sub-cubes")
+        merged.append(SubcubeSpec(task_id=len(merged), row_start=group[0].row_start,
+                                  row_stop=group[-1].row_stop))
+    return merged
+
+
+def split_subcube(spec: SubcubeSpec, parts: int, next_task_id: int) -> List[SubcubeSpec]:
+    """Refine one sub-cube into ``parts`` smaller ones (granularity decrease)."""
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if parts > spec.rows:
+        raise ValueError(f"cannot split {spec.rows} rows into {parts} parts")
+    edges = np.linspace(spec.row_start, spec.row_stop, parts + 1, dtype=int)
+    return [SubcubeSpec(task_id=next_task_id + i, row_start=int(edges[i]),
+                        row_stop=int(edges[i + 1])) for i in range(parts)]
+
+
+__all__ = [
+    "SubcubeSpec",
+    "decompose",
+    "extract_subcube",
+    "subcube_pixel_matrix",
+    "reassemble_composite",
+    "granularity_for",
+    "merge_subcubes",
+    "split_subcube",
+]

@@ -1,0 +1,203 @@
+"""Sequential reference implementation of the spectral-screening PCT.
+
+:class:`SpectralScreeningPCT` runs the eight algorithm steps of Section 3 in
+a single process.  It is the ground truth against which the distributed and
+resilient implementations are validated (their composites must match it
+exactly), the baseline of the speed-up figures (the one-processor point of
+Figure 4), and the simplest entry point of the library::
+
+    from repro import SpectralScreeningPCT, HydiceGenerator
+
+    cube = HydiceGenerator.quicklook_cube()
+    result = SpectralScreeningPCT().fuse(cube)
+    rgb = result.composite          # (rows, cols, 3) in [0, 1]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import FusionConfig
+from ..data.cube import HyperspectralCube
+from .partition import decompose, extract_subcube, subcube_pixel_matrix
+from .steps.colormap import color_map, color_map_flops, component_statistics
+from .steps.screening import (merge_unique_sets, screen_unique_set,
+                              screening_flops)
+from .steps.statistics import (covariance_matrix, covariance_sum,
+                               covariance_sum_flops, mean_flops, mean_vector,
+                               partition_pixel_matrix)
+from .steps.transform import (PCTBasis, eigendecomposition_flops, project,
+                              project_cube_block, projection_flops,
+                              transformation_matrix)
+
+
+@dataclass
+class FusionResult:
+    """Output of a fusion run (sequential, distributed or resilient).
+
+    Attributes
+    ----------
+    composite:
+        ``(rows, cols, 3)`` colour composite in [0, 1] (Figure 3 analogue).
+    components:
+        ``(rows, cols, n_components)`` principal component planes.
+    basis:
+        The :class:`~repro.core.steps.transform.PCTBasis` used for projection.
+    unique_set_size:
+        Number of pixel vectors retained by spectral screening (K).
+    phase_flops:
+        Estimated floating point work per algorithm phase; the simulated
+        backend charges these against node speeds.
+    metadata:
+        Run provenance (configuration echo, worker counts, and so on).
+    """
+
+    composite: np.ndarray
+    components: np.ndarray
+    basis: PCTBasis
+    unique_set_size: int
+    phase_flops: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def shape(self):
+        return self.composite.shape
+
+    def total_flops(self) -> float:
+        return float(sum(self.phase_flops.values()))
+
+
+class SpectralScreeningPCT:
+    """Sequential spectral-screening PCT fusion engine.
+
+    Parameters
+    ----------
+    config:
+        Full :class:`~repro.config.FusionConfig`; only the screening,
+        partition and colour-map sections are used by the sequential path.
+    n_components:
+        Number of principal components *retained in the output*; the colour
+        mapping uses the first three.
+    full_projection:
+        When True (default, the paper's formulation) step 7 projects every
+        pixel onto *all* eigenvectors of the covariance and the first
+        ``n_components`` are kept afterwards.  When False only the leading
+        ``n_components`` eigenvectors are applied, an optimisation the
+        projection-rank ablation benchmark quantifies.
+    """
+
+    def __init__(self, config: Optional[FusionConfig] = None, *, n_components: int = 3,
+                 full_projection: bool = True) -> None:
+        self.config = config or FusionConfig()
+        if n_components < 3:
+            raise ValueError("at least 3 components are required for colour mapping")
+        self.n_components = n_components
+        self.full_projection = full_projection
+
+    # ------------------------------------------------------------------ fuse
+    def fuse(self, cube: HyperspectralCube) -> FusionResult:
+        """Run all eight steps on ``cube`` and return the fusion result.
+
+        The screening pass follows the same sub-cube decomposition the
+        distributed implementation uses (``config.partition``): each sub-cube
+        is screened independently and the per-sub-cube unique sets are merged
+        (step 2).  With the default single sub-cube this is the plain
+        algorithm; configured identically to a distributed run it produces a
+        bit-identical composite, which is what the cross-implementation
+        equivalence tests assert.
+        """
+        screening = self.config.screening
+        subcubes = self.config.partition.effective_subcubes
+
+        # Steps 1-2: per-sub-cube spectral screening, then merge.
+        unique_sets = []
+        for spec in decompose(cube.rows, min(subcubes, cube.rows)):
+            block_pixels = subcube_pixel_matrix(extract_subcube(cube, spec))
+            unique_sets.append(screen_unique_set(
+                block_pixels, screening.angle_threshold,
+                max_unique=screening.max_unique,
+                sample_stride=screening.sample_stride))
+        unique = merge_unique_sets(unique_sets, screening.angle_threshold,
+                                   max_unique=screening.max_unique,
+                                   rescreen=screening.rescreen_merge)
+
+        # Step 3: mean vector of the unique set.
+        mean = mean_vector(unique)
+
+        # Steps 4-5: covariance of the unique set, accumulated per partition
+        # exactly as the distributed workers do (identical summation order).
+        parts = partition_pixel_matrix(unique, max(self.config.partition.workers, 1))
+        partial_sums = [covariance_sum(part, mean) for part in parts]
+        covariance = covariance_matrix(partial_sums, total_pixels=unique.shape[0])
+
+        # Step 6: transformation matrix.  The paper's formulation transforms
+        # with the full eigenvector matrix and then keeps the first three
+        # components for colour mapping.
+        rank = cube.bands if self.full_projection else self.n_components
+        basis = transformation_matrix(covariance, mean, n_components=rank)
+
+        # Global colour-stretch statistics, derived from the screened unique
+        # set so that the distributed workers (which normalise their blocks
+        # with the same constants) reproduce this composite exactly.  Only the
+        # three colour-mapped components are needed, so project onto a
+        # truncated basis.
+        stats_basis = PCTBasis(eigenvalues=basis.eigenvalues,
+                               components=basis.components[:3], mean=basis.mean)
+        stretch_mean, stretch_std = component_statistics(project(unique, stats_basis))
+
+        # Step 7: transform the original cube, keeping the leading components.
+        components = project_cube_block(cube.data, basis)[..., : self.n_components]
+
+        # Step 8: human-centred colour mapping.
+        composite = color_map(components,
+                              normalize=self.config.colormap.normalize_components,
+                              mean=stretch_mean, std=stretch_std)
+
+        phase_flops = self.estimate_phase_flops(cube, unique.shape[0])
+        metadata = {
+            "mode": "sequential",
+            "angle_threshold": screening.angle_threshold,
+            "n_components": self.n_components,
+            "bands": cube.bands,
+            "rows": cube.rows,
+            "cols": cube.cols,
+            "stretch_mean": stretch_mean,
+            "stretch_std": stretch_std,
+        }
+        return FusionResult(composite=composite, components=components, basis=basis,
+                            unique_set_size=int(unique.shape[0]),
+                            phase_flops=phase_flops, metadata=metadata)
+
+    # ------------------------------------------------------------ cost model
+    def estimate_phase_flops(self, cube: HyperspectralCube, unique_size: int) -> Dict[str, float]:
+        """Analytic FLOP estimate per phase for the given problem size.
+
+        The same estimators drive the simulated backend, so the sequential
+        run time predicted from these numbers is consistent with the
+        one-worker point of the distributed simulation.
+        """
+        n_pixels = cube.pixels
+        bands = cube.bands
+        rank = bands if self.full_projection else self.n_components
+        return {
+            "screening": screening_flops(n_pixels, unique_size, bands),
+            "mean": mean_flops(unique_size, bands),
+            "covariance": covariance_sum_flops(unique_size, bands),
+            "eigendecomposition": eigendecomposition_flops(bands),
+            "projection": projection_flops(n_pixels, bands, rank),
+            "colormap": color_map_flops(n_pixels),
+        }
+
+    def predicted_sequential_seconds(self, cube: HyperspectralCube, unique_size: int,
+                                     flops_per_second: float) -> float:
+        """Predicted single-workstation run time on a node of the given speed."""
+        if flops_per_second <= 0:
+            raise ValueError("flops_per_second must be positive")
+        total = sum(self.estimate_phase_flops(cube, unique_size).values())
+        return total / flops_per_second
+
+
+__all__ = ["SpectralScreeningPCT", "FusionResult"]

@@ -1,0 +1,128 @@
+"""Steps 3-5: mean vector, covariance sums and covariance matrix.
+
+The statistics of the principal component transform are computed over the
+*unique set* produced by spectral screening (not over the raw image), which
+is what prevents numerically dominant materials from monopolising the leading
+components.
+
+Step 4 is the distributed part: the unique set is divided into P parts and
+each worker accumulates the covariance sum of its part around the global mean
+vector.  Step 5 (combining the sums into the covariance matrix) is sequential
+at the manager because its cost depends only on the number of workers and the
+band count, not the image size -- the same argument the paper makes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+def mean_vector(pixels: np.ndarray) -> np.ndarray:
+    """Step 3: per-band mean of a ``(pixels, bands)`` matrix.
+
+    Accumulation is performed in float64 regardless of the input dtype so the
+    covariance computed from it is well conditioned even for 16-bit data.
+    """
+    pixels = np.asarray(pixels)
+    if pixels.ndim != 2:
+        raise ValueError(f"pixels must be 2-D (pixels, bands); got shape {pixels.shape}")
+    if pixels.shape[0] == 0:
+        raise ValueError("cannot compute the mean of zero pixel vectors")
+    return pixels.mean(axis=0, dtype=np.float64)
+
+
+def covariance_sum(pixels: np.ndarray, mean: np.ndarray) -> np.ndarray:
+    """Step 4: covariance *sum* of one partition around the global mean.
+
+    Implements ``sum_i (I_i - m)(I_i - m)^T`` as a single symmetric rank-k
+    update (one GEMM), which is algebraically identical to the paper's
+    per-pixel ``I I^T - m m^T`` accumulation but runs at BLAS speed.
+    """
+    pixels = np.asarray(pixels, dtype=np.float64)
+    mean = np.asarray(mean, dtype=np.float64)
+    if pixels.ndim != 2:
+        raise ValueError("pixels must be 2-D (pixels, bands)")
+    if mean.shape != (pixels.shape[1],):
+        raise ValueError(f"mean of shape {mean.shape} does not match {pixels.shape[1]} bands")
+    centred = pixels - mean[None, :]
+    return centred.T @ centred
+
+
+def covariance_matrix(partial_sums: Sequence[np.ndarray], total_pixels: int) -> np.ndarray:
+    """Step 5: combine per-partition covariance sums into the covariance matrix.
+
+    Parameters
+    ----------
+    partial_sums:
+        The ``(bands, bands)`` sums returned by :func:`covariance_sum` for
+        each partition.
+    total_pixels:
+        Total number of pixel vectors across all partitions (K in the paper).
+
+    Notes
+    -----
+    The paper describes this step as "the average of all the matrices
+    calculated in step 4"; dividing by the number of pixel vectors (rather
+    than the number of partitions) yields the sample covariance.  The two
+    normalisations differ only by a positive scalar, so the eigenvectors --
+    and therefore the transform -- are identical; we use the statistically
+    conventional one.
+    """
+    sums = [np.asarray(s, dtype=np.float64) for s in partial_sums]
+    if not sums:
+        raise ValueError("need at least one partial covariance sum")
+    shape = sums[0].shape
+    if any(s.shape != shape for s in sums):
+        raise ValueError("partial covariance sums disagree on shape")
+    if total_pixels <= 0:
+        raise ValueError("total_pixels must be positive")
+    total = np.zeros(shape, dtype=np.float64)
+    for s in sums:
+        total += s
+    cov = total / float(total_pixels)
+    # Enforce exact symmetry; eigh assumes it and accumulated rounding can
+    # introduce asymmetries of order 1e-12 that needlessly perturb results.
+    return 0.5 * (cov + cov.T)
+
+
+def partition_pixel_matrix(pixels: np.ndarray, parts: int) -> List[np.ndarray]:
+    """Split a pixel matrix into ``parts`` nearly equal row blocks (step 4's
+    distribution of the unique set)."""
+    pixels = np.asarray(pixels)
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if pixels.shape[0] < parts:
+        parts = max(1, pixels.shape[0])
+    return [np.array(block) for block in np.array_split(pixels, parts, axis=0)]
+
+
+# --------------------------------------------------------------------------
+# Cost model
+# --------------------------------------------------------------------------
+
+def mean_flops(n_pixels: int, bands: int) -> float:
+    """FLOPs of the mean vector: one add per element plus the final divide."""
+    return float(n_pixels) * bands + bands
+
+
+def covariance_sum_flops(n_pixels: int, bands: int) -> float:
+    """FLOPs of a partition's covariance sum: the rank-k update dominates."""
+    return 2.0 * float(n_pixels) * bands * bands + float(n_pixels) * bands
+
+
+def covariance_combine_flops(parts: int, bands: int) -> float:
+    """FLOPs of combining ``parts`` sums and normalising."""
+    return float(parts) * bands * bands + bands * bands
+
+
+__all__ = [
+    "mean_vector",
+    "covariance_sum",
+    "covariance_matrix",
+    "partition_pixel_matrix",
+    "mean_flops",
+    "covariance_sum_flops",
+    "covariance_combine_flops",
+]

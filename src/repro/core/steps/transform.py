@@ -1,0 +1,167 @@
+"""Steps 6-7: transformation matrix and principal component projection.
+
+Step 6 computes the eigenvectors of the covariance matrix, sorted by
+decreasing eigenvalue, so that "the high spectral content is forced into the
+front components".  Its cost is O(bands^3) but independent of image size,
+which is why the paper keeps it sequential at the manager and why, at 210
+bands, it does not dominate the run time (a claim the step-6 benchmark
+checks).
+
+Step 7 projects every pixel vector of the *original* cube onto the leading
+eigenvectors; it is embarrassingly parallel over pixels and is distributed
+over the workers together with the colour mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PCTBasis:
+    """The principal component transform derived from the screened statistics.
+
+    Attributes
+    ----------
+    eigenvalues:
+        All eigenvalues of the covariance matrix, descending.
+    components:
+        ``(n_components, bands)`` matrix A whose rows are the leading
+        eigenvectors; ``project`` computes ``A (x - mean)``.
+    mean:
+        The mean vector the data is centred on before projection.
+    """
+
+    eigenvalues: np.ndarray
+    components: np.ndarray
+    mean: np.ndarray
+
+    @property
+    def n_components(self) -> int:
+        return self.components.shape[0]
+
+    @property
+    def bands(self) -> int:
+        return self.components.shape[1]
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total variance captured by each retained component."""
+        total = float(np.sum(self.eigenvalues))
+        if total <= 0:
+            return np.zeros(self.n_components)
+        return np.asarray(self.eigenvalues[: self.n_components]) / total
+
+
+def transformation_matrix(covariance: np.ndarray, mean: np.ndarray,
+                          n_components: Optional[int] = 3) -> PCTBasis:
+    """Step 6: eigen-decompose the covariance and build the transform basis.
+
+    Parameters
+    ----------
+    covariance:
+        ``(bands, bands)`` symmetric covariance matrix from step 5.
+    mean:
+        ``(bands,)`` mean vector from step 3.
+    n_components:
+        Number of leading eigenvectors to retain; ``None`` keeps all of them.
+        The colour mapping needs only the first three, and retaining exactly
+        three also reduces the projection cost of step 7 by a factor of
+        ``bands / 3``.
+
+    Notes
+    -----
+    Eigenvector signs are fixed so that the largest-magnitude entry of each
+    eigenvector is positive.  ``numpy.linalg.eigh`` returns an arbitrary sign
+    per eigenvector; without the convention, bit-identical reproducibility of
+    the colour composite across runs and backends could not be asserted.
+    """
+    covariance = np.asarray(covariance, dtype=np.float64)
+    mean = np.asarray(mean, dtype=np.float64)
+    if covariance.ndim != 2 or covariance.shape[0] != covariance.shape[1]:
+        raise ValueError(f"covariance must be square; got {covariance.shape}")
+    if mean.shape != (covariance.shape[0],):
+        raise ValueError("mean length does not match covariance dimension")
+    if not np.allclose(covariance, covariance.T, atol=1e-8):
+        raise ValueError("covariance matrix must be symmetric")
+    bands = covariance.shape[0]
+    if n_components is None:
+        n_components = bands
+    if not 1 <= n_components <= bands:
+        raise ValueError(f"n_components must be in [1, {bands}]")
+
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order]
+    eigenvectors = eigenvectors[:, order]
+
+    # Deterministic sign convention.
+    flip = np.sign(eigenvectors[np.argmax(np.abs(eigenvectors), axis=0),
+                                np.arange(bands)])
+    flip[flip == 0] = 1.0
+    eigenvectors = eigenvectors * flip[None, :]
+
+    components = eigenvectors[:, :n_components].T.copy()
+    return PCTBasis(eigenvalues=eigenvalues, components=components, mean=mean)
+
+
+def project(pixels: np.ndarray, basis: PCTBasis) -> np.ndarray:
+    """Step 7: transform pixel vectors into principal component space.
+
+    ``Cs_ij = A (Is_ij - m)`` for every pixel vector, vectorised as a single
+    matrix product.  Returns a ``(pixels, n_components)`` float64 array.
+    """
+    pixels = np.asarray(pixels, dtype=np.float64)
+    if pixels.ndim != 2 or pixels.shape[1] != basis.bands:
+        raise ValueError(
+            f"pixels of shape {pixels.shape} do not match basis with {basis.bands} bands")
+    centred = pixels - basis.mean[None, :]
+    return centred @ basis.components.T
+
+
+def project_cube_block(block: np.ndarray, basis: PCTBasis) -> np.ndarray:
+    """Project a ``(bands, rows, cols)`` sub-cube; returns ``(rows, cols, n_components)``."""
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 3 or block.shape[0] != basis.bands:
+        raise ValueError(f"block of shape {block.shape} does not match basis bands {basis.bands}")
+    bands, rows, cols = block.shape
+    matrix = block.reshape(bands, -1).T
+    transformed = project(matrix, basis)
+    return transformed.reshape(rows, cols, basis.n_components)
+
+
+# --------------------------------------------------------------------------
+# Cost model
+# --------------------------------------------------------------------------
+
+#: Constant in front of the n^3 eigen-solve cost.  The raw operation count of
+#: tridiagonalisation plus QL iteration is closer to 9n^3, but dense
+#: eigen-solvers run much nearer to a workstation's peak rate than the scalar
+#: screening code the single effective node FLOP rate is calibrated to, so
+#: the constant is reduced to keep the *time* charged for step 6 realistic
+#: (well under a handful of seconds at 210 bands -- the paper notes this step
+#: does not dominate the overall run time).
+EIGH_FLOP_CONSTANT = 2.0
+
+
+def eigendecomposition_flops(bands: int) -> float:
+    """FLOP estimate of the symmetric eigen-decomposition (step 6)."""
+    return EIGH_FLOP_CONSTANT * float(bands) ** 3
+
+
+def projection_flops(n_pixels: int, bands: int, n_components: int) -> float:
+    """FLOP estimate of projecting ``n_pixels`` vectors (step 7)."""
+    return 2.0 * float(n_pixels) * bands * n_components + float(n_pixels) * bands
+
+
+__all__ = [
+    "PCTBasis",
+    "transformation_matrix",
+    "project",
+    "project_cube_block",
+    "eigendecomposition_flops",
+    "projection_flops",
+    "EIGH_FLOP_CONSTANT",
+]

@@ -1,0 +1,156 @@
+"""Worker thread program of the distributed spectral-screening PCT.
+
+A worker participates in the three distributed phases of the algorithm:
+
+* ``screen``      -- step 1: spectral-angle screening of a sub-cube,
+* ``covariance``  -- step 4: covariance sum of a slice of the unique set,
+* ``transform``   -- steps 7-8: projection and colour mapping of a sub-cube.
+
+The worker is deliberately stateless between tasks: it announces itself to
+the manager, then loops receiving a task, computing it, and returning the
+result.  Idempotent duplicate-suppression keys on both tasks and results make
+the protocol safe under replication (every replica of a worker receives and
+computes every task, but the manager keeps only one copy of each result) and
+under regeneration (a replica that rejoins after a failure simply announces
+itself again; the manager re-sends whatever is outstanding).
+
+The paper's communication/computation overlap (Section 3: "a worker overlaps
+the request for its next sub-problem with the calculation associated with the
+current sub-problem") arises naturally: the manager keeps ``prefetch`` tasks
+outstanding per worker, so while a worker computes one sub-cube the next is
+already in flight or waiting in its mailbox.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from ..config import FusionConfig
+from ..scp.effects import Compute, Recv, Send
+from ..scp.runtime import Context
+from .messages import (PHASE_COVARIANCE, PHASE_SCREEN, PHASE_TRANSFORM,
+                       PORT_HELLO, PORT_RESULT, PORT_TASK, StopWork,
+                       TaskAssignment, TaskResult, WorkerHello)
+from .partition import subcube_pixel_matrix
+from .steps.colormap import color_map_flops, composite_from_block
+from .steps.screening import screen_unique_set, screening_flops
+from .steps.statistics import covariance_sum, covariance_sum_flops
+from .steps.transform import project_cube_block, projection_flops
+
+
+def _compute_screen(task: TaskAssignment, config: FusionConfig) -> Compute:
+    """Build the Compute effect for a screening task."""
+    block = task.data["block"]
+    pixels = subcube_pixel_matrix(block)
+    n_pixels, bands = pixels.shape
+    screening = config.screening
+
+    def flops_of(result: np.ndarray, n=n_pixels, b=bands) -> float:
+        return screening_flops(n, result.shape[0], b)
+
+    return Compute(fn=screen_unique_set,
+                   args=(pixels, screening.angle_threshold),
+                   kwargs={"max_unique": screening.max_unique,
+                           "sample_stride": screening.sample_stride},
+                   flops=flops_of, phase="screening")
+
+
+def _compute_covariance(task: TaskAssignment) -> Compute:
+    """Build the Compute effect for a covariance-sum task."""
+    pixels = task.data["pixels"]
+    mean = task.data["mean"]
+    return Compute(fn=covariance_sum, args=(pixels, mean),
+                   flops=covariance_sum_flops(pixels.shape[0], pixels.shape[1]),
+                   phase="covariance")
+
+
+def _transform_and_map(block: np.ndarray, basis, stretch_mean, stretch_std,
+                       keep_components: int) -> Dict[str, np.ndarray]:
+    """Steps 7-8 fused into one call: project a sub-cube and colour-map it.
+
+    The projection uses every eigenvector carried by ``basis`` (the paper's
+    full transform); only the leading ``keep_components`` planes are kept in
+    the result to bound the size of the message sent back to the manager.
+    """
+    components = project_cube_block(block, basis)
+    rgb = composite_from_block(components, mean=stretch_mean, std=stretch_std)
+    return {"components": components[..., :keep_components], "rgb": rgb}
+
+
+def _compute_transform(task: TaskAssignment) -> Compute:
+    """Build the Compute effect for a transform + colour-map task."""
+    block = task.data["block"]
+    basis = task.data["basis"]
+    stretch_mean = task.data["stretch_mean"]
+    stretch_std = task.data["stretch_std"]
+    keep = int(task.data.get("keep_components", 3))
+    n_pixels = block.shape[1] * block.shape[2]
+    flops = (projection_flops(n_pixels, basis.bands, basis.n_components)
+             + color_map_flops(n_pixels))
+    return Compute(fn=_transform_and_map,
+                   args=(block, basis, stretch_mean, stretch_std, keep),
+                   flops=flops, phase="transform")
+
+
+def worker_program(ctx: Context, *, manager: str = "manager",
+                   config: Optional[FusionConfig] = None) -> Generator:
+    """Generator program executed by every worker replica.
+
+    Parameters
+    ----------
+    ctx:
+        Backend-provided context (identity, replica index, incarnation).
+    manager:
+        Logical name of the manager thread.
+    config:
+        Fusion configuration (screening thresholds are the only part used).
+    """
+    config = config or FusionConfig()
+    tasks_completed = 0
+
+    # Announce availability.  Regenerated replicas carry a new incarnation
+    # number so the announcement is not suppressed as a duplicate and the
+    # manager knows to re-send outstanding work.
+    hello = WorkerHello(worker=ctx.name, incarnation=ctx.incarnation)
+    yield Send(dst=manager, port=PORT_HELLO, payload=hello, key=hello.dedup_key())
+
+    while True:
+        envelope = yield Recv(port=PORT_TASK)
+        message = envelope.payload
+
+        if isinstance(message, StopWork):
+            return {"worker": ctx.name, "replica": ctx.replica,
+                    "tasks_completed": tasks_completed, "reason": message.reason}
+
+        if not isinstance(message, TaskAssignment):
+            # Unknown control traffic is ignored rather than crashing the
+            # worker; the manager's accounting is authoritative.
+            continue
+
+        task = message
+        if task.phase == PHASE_SCREEN:
+            unique = yield _compute_screen(task, config)
+            result_data = {"unique": unique, "pixels_screened": int(
+                task.data["block"].shape[1] * task.data["block"].shape[2])}
+        elif task.phase == PHASE_COVARIANCE:
+            cov = yield _compute_covariance(task)
+            result_data = {"cov_sum": cov, "count": int(task.data["pixels"].shape[0])}
+        elif task.phase == PHASE_TRANSFORM:
+            block_result = yield _compute_transform(task)
+            result_data = {"rgb": block_result["rgb"],
+                           "components": block_result["components"],
+                           "spec": task.spec}
+        else:
+            # Unknown phase: report an empty result so the manager does not
+            # wait forever on a protocol mismatch.
+            result_data = {"error": f"unknown phase {task.phase!r}"}
+
+        result = TaskResult(phase=task.phase, task_id=task.task_id,
+                            worker=ctx.name, data=result_data)
+        yield Send(dst=manager, port=PORT_RESULT, payload=result, key=result.dedup_key())
+        tasks_completed += 1
+
+
+__all__ = ["worker_program"]

@@ -1,0 +1,42 @@
+"""Synthetic HYDICE-like data substrate.
+
+The paper evaluates on proprietary HYDICE airborne spectrometer collections;
+this subpackage provides a deterministic, physically-motivated synthetic
+stand-in (see the substitution table in DESIGN.md): a spectral signature
+library (:mod:`.signatures`), scene layout generation with embedded vehicle
+targets (:mod:`.scene`), a sensor noise model (:mod:`.noise`), the
+:class:`~repro.data.cube.HyperspectralCube` container (:mod:`.cube`) and the
+end-to-end generator (:mod:`.hydice`).
+"""
+
+from .cube import CubeError, HyperspectralCube
+from .hydice import HydiceConfig, HydiceGenerator, generate_cube, solar_illumination
+from .noise import NoiseModel, apply_sensor_noise, band_noise_sigma
+from .scene import (DEFAULT_MATERIALS, SceneLayout, VehiclePlacement,
+                    generate_scene)
+from .signatures import (HYDICE_MAX_NM, HYDICE_MIN_NM, SpectralSignature,
+                         available_materials, get_signature, signature_matrix,
+                         spectral_angle)
+
+__all__ = [
+    "CubeError",
+    "HyperspectralCube",
+    "HydiceConfig",
+    "HydiceGenerator",
+    "generate_cube",
+    "solar_illumination",
+    "NoiseModel",
+    "apply_sensor_noise",
+    "band_noise_sigma",
+    "DEFAULT_MATERIALS",
+    "SceneLayout",
+    "VehiclePlacement",
+    "generate_scene",
+    "HYDICE_MAX_NM",
+    "HYDICE_MIN_NM",
+    "SpectralSignature",
+    "available_materials",
+    "get_signature",
+    "signature_matrix",
+    "spectral_angle",
+]

@@ -1,0 +1,113 @@
+"""Sensor noise models for the synthetic HYDICE generator.
+
+The noise model captures the characteristics that matter to the fusion
+algorithm:
+
+* per-band Gaussian noise whose standard deviation varies with wavelength
+  (water-absorption bands are markedly noisier, as in real HYDICE data),
+* a small amount of spectral smoothing that makes adjacent bands correlated
+  (the instrument's spectral response overlaps), and
+* optional dead or striped detector columns, which the screening step must
+  tolerate without admitting thousands of spurious "unique" pixels.
+
+All randomness flows through a caller-provided :class:`numpy.random.Generator`
+so whole scenes are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Parameters of the synthetic sensor noise.
+
+    Attributes
+    ----------
+    base_snr:
+        Signal-to-noise ratio in well-behaved bands (HYDICE is ~100:1).
+    absorption_snr:
+        Signal-to-noise ratio inside the 1400/1900 nm water-absorption bands.
+    spectral_smoothing:
+        Width (in bands) of the triangular smoothing applied along the
+        spectral axis; 0 disables it.
+    dead_column_fraction:
+        Fraction of detector columns that are dead (read near zero).
+    stripe_amplitude:
+        Relative amplitude of column-wise gain striping.
+    """
+
+    base_snr: float = 100.0
+    absorption_snr: float = 25.0
+    spectral_smoothing: int = 1
+    dead_column_fraction: float = 0.0
+    stripe_amplitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_snr <= 0 or self.absorption_snr <= 0:
+            raise ValueError("SNR values must be positive")
+        if self.spectral_smoothing < 0:
+            raise ValueError("spectral_smoothing must be >= 0")
+        if not 0.0 <= self.dead_column_fraction < 1.0:
+            raise ValueError("dead_column_fraction must be in [0, 1)")
+        if self.stripe_amplitude < 0:
+            raise ValueError("stripe_amplitude must be >= 0")
+
+
+def band_noise_sigma(wavelengths_nm: np.ndarray, signal_level: np.ndarray,
+                     model: NoiseModel) -> np.ndarray:
+    """Per-band noise standard deviation for a given mean signal level.
+
+    ``signal_level`` is the per-band mean radiance of the scene; the returned
+    sigma interpolates between ``signal/base_snr`` in clean bands and
+    ``signal/absorption_snr`` inside the absorption features.
+    """
+    wl = np.asarray(wavelengths_nm, dtype=np.float64)
+    absorption_weight = (np.exp(-0.5 * ((wl - 1400.0) / 60.0) ** 2)
+                         + np.exp(-0.5 * ((wl - 1900.0) / 70.0) ** 2))
+    absorption_weight = np.clip(absorption_weight, 0.0, 1.0)
+    snr = model.base_snr * (1.0 - absorption_weight) + model.absorption_snr * absorption_weight
+    return np.asarray(signal_level, dtype=np.float64) / snr
+
+
+def apply_sensor_noise(cube: np.ndarray, wavelengths_nm: np.ndarray,
+                       model: NoiseModel, rng: np.random.Generator) -> np.ndarray:
+    """Apply the full noise model to a clean ``(bands, rows, cols)`` cube.
+
+    The input is not modified; a new ``float32`` array is returned.
+    """
+    cube = np.asarray(cube, dtype=np.float64)
+    bands, rows, cols = cube.shape
+    mean_signal = cube.reshape(bands, -1).mean(axis=1)
+    sigma = band_noise_sigma(wavelengths_nm, np.maximum(mean_signal, 1e-6), model)
+    noisy = cube + rng.standard_normal(cube.shape) * sigma[:, None, None]
+
+    if model.spectral_smoothing > 0:
+        width = model.spectral_smoothing
+        kernel = np.concatenate([np.arange(1, width + 2), np.arange(width, 0, -1)]).astype(float)
+        kernel /= kernel.sum()
+        pad = len(kernel) // 2
+        padded = np.pad(noisy, ((pad, pad), (0, 0), (0, 0)), mode="edge")
+        smoothed = np.zeros_like(noisy)
+        for offset, weight in enumerate(kernel):
+            smoothed += weight * padded[offset:offset + bands]
+        noisy = smoothed
+
+    if model.stripe_amplitude > 0:
+        gains = 1.0 + model.stripe_amplitude * rng.standard_normal(cols)
+        noisy *= gains[None, None, :]
+
+    if model.dead_column_fraction > 0:
+        n_dead = int(round(model.dead_column_fraction * cols))
+        if n_dead:
+            dead = rng.choice(cols, size=n_dead, replace=False)
+            noisy[:, :, dead] = rng.uniform(0.0, 1e-3, size=(bands, rows, n_dead))
+
+    return np.clip(noisy, 0.0, None).astype(np.float32)
+
+
+__all__ = ["NoiseModel", "band_noise_sigma", "apply_sensor_noise"]

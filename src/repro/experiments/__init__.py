@@ -1,0 +1,23 @@
+"""Reusable experiment runners.
+
+Each module in this package regenerates one of the paper's evaluation
+artefacts programmatically (the benchmark harness and the command-line
+interface are thin wrappers around them):
+
+* :mod:`.figure4` -- speed-up with and without resiliency,
+* :mod:`.figure5` -- granularity control and the tail-off sweep,
+* :mod:`.shared_memory` -- the shared-memory multiprocessor ablation.
+"""
+
+from .figure4 import Figure4Result, run_figure4
+from .figure5 import Figure5Result, run_figure5
+from .shared_memory import SharedMemoryResult, run_shared_memory_comparison
+
+__all__ = [
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "SharedMemoryResult",
+    "run_shared_memory_comparison",
+]

@@ -1,0 +1,125 @@
+"""Figure 4 experiment: speed-up with and without resiliency.
+
+Runs the distributed spectral-screening PCT over a sweep of worker counts on
+the simulated Sun/100BaseT cluster, once without resiliency and once with
+every worker replicated to level 2, and derives the quantities the paper
+reports: the two timing series, speed-up/efficiency, and the decomposition of
+the resilient run's extra cost into the replication factor and the protocol
+overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.figures import figure4_chart
+from ..analysis.report import figure4_table, overhead_table
+from ..analysis.speedup import (OverheadDecomposition, SpeedupCurve,
+                                mean_protocol_overhead, overhead_decomposition)
+from ..config import PAPER_SETUP, FusionConfig, PartitionConfig, ResilienceConfig
+from ..core.distributed import DistributedPCT
+from ..core.resilient import ResilientPCT
+from ..data.cube import HyperspectralCube
+
+
+@dataclass
+class Figure4Result:
+    """Everything the Figure 4 experiment produces.
+
+    Attributes
+    ----------
+    plain / resilient:
+        Timing curves (virtual seconds vs. worker count).
+    decompositions:
+        Per-processor-count overhead decomposition (replication + protocols).
+    per_run_metrics:
+        ``(workers, resilient?) -> RunMetrics`` for deeper inspection.
+    """
+
+    plain: SpeedupCurve
+    resilient: SpeedupCurve
+    replication_level: int
+    decompositions: List[OverheadDecomposition] = field(default_factory=list)
+    per_run_metrics: Dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------- summaries
+    def mean_protocol_overhead(self) -> float:
+        return mean_protocol_overhead(self.decompositions)
+
+    def worst_efficiency(self) -> float:
+        return self.plain.worst_efficiency()
+
+    def table(self) -> str:
+        return figure4_table(self.plain, self.resilient,
+                             replication_level=self.replication_level)
+
+    def overhead_report(self) -> str:
+        return overhead_table(self.decompositions)
+
+    def chart(self) -> str:
+        return figure4_chart(self.plain, self.resilient)
+
+    def report(self) -> str:
+        """The full Figure 4 report: table, chart and overhead decomposition."""
+        return "\n\n".join([
+            self.table(),
+            self.chart(),
+            self.overhead_report(),
+            (f"mean protocol overhead beyond replication: "
+             f"{self.mean_protocol_overhead():+.1%} (paper: approximately +10%)"),
+            (f"worst-case fraction of linear speed-up (no resiliency): "
+             f"{self.worst_efficiency():.2f} (paper: within ~20% of linear)"),
+        ])
+
+
+def run_figure4(cube: HyperspectralCube, *,
+                processors: Sequence[int] = PAPER_SETUP.figure4_processors,
+                subcubes: int = 32,
+                replication_level: int = PAPER_SETUP.resiliency_level,
+                execute_replicas: bool = False,
+                prefetch: int = 2) -> Figure4Result:
+    """Run the Figure 4 sweep on ``cube``.
+
+    Parameters
+    ----------
+    cube:
+        The hyper-spectral collection to fuse (the paper uses the 210-channel
+        HYDICE set).
+    processors:
+        Worker counts to sweep (the paper uses 1, 2, 4, 8, 16).
+    subcubes:
+        Decomposition used for every point; fixed so the total work is
+        identical across the sweep.
+    replication_level:
+        Resiliency level of the replicated series (2 in the paper).
+    execute_replicas:
+        Whether replica computations are re-executed on the host (True) or
+        cloned (False); virtual-time accounting is identical either way.
+    """
+    plain_curve = SpeedupCurve("no resiliency")
+    resilient_curve = SpeedupCurve(f"resiliency level {replication_level}")
+    per_run_metrics: Dict = {}
+
+    for workers in processors:
+        partition = PartitionConfig(workers=workers, subcubes=max(subcubes, workers))
+        plain_config = FusionConfig(partition=partition)
+        plain_outcome = DistributedPCT(plain_config, prefetch=prefetch).fuse(cube)
+        plain_curve.add(workers, plain_outcome.elapsed_seconds)
+        per_run_metrics[(workers, False)] = plain_outcome.metrics
+
+        resilient_config = plain_config.with_resilience(ResilienceConfig(
+            replication_level=replication_level, execute_replicas=execute_replicas))
+        resilient_outcome = ResilientPCT(resilient_config, prefetch=prefetch).fuse(cube)
+        resilient_curve.add(workers, resilient_outcome.elapsed_seconds)
+        per_run_metrics[(workers, True)] = resilient_outcome.metrics
+
+    decompositions = overhead_decomposition(plain_curve, resilient_curve,
+                                            replication_level=replication_level)
+    return Figure4Result(plain=plain_curve, resilient=resilient_curve,
+                         replication_level=replication_level,
+                         decompositions=decompositions,
+                         per_run_metrics=per_run_metrics)
+
+
+__all__ = ["Figure4Result", "run_figure4"]

@@ -1,0 +1,117 @@
+"""Figure 5 experiment: granularity control.
+
+Runs the distributed fusion for every (worker count, granularity multiplier)
+combination of the paper's Figure 5, plus an optional tail-off sweep over
+many sub-cube counts at the largest machine size, and packages the resulting
+series with their table and chart renderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.figures import figure5_chart
+from ..analysis.report import figure5_table, format_table
+from ..analysis.speedup import SpeedupCurve
+from ..config import PAPER_SETUP, FusionConfig, PartitionConfig
+from ..core.distributed import DistributedPCT
+from ..data.cube import HyperspectralCube
+
+
+@dataclass
+class Figure5Result:
+    """Granularity-control measurements.
+
+    Attributes
+    ----------
+    curves:
+        ``multiplier -> SpeedupCurve`` (time vs. worker count).
+    tail_off:
+        ``sub-cube count -> virtual seconds`` at ``tail_off_workers`` workers.
+    tail_off_workers:
+        Machine size used for the tail-off sweep.
+    """
+
+    curves: Dict[int, SpeedupCurve]
+    tail_off: Dict[int, float] = field(default_factory=dict)
+    tail_off_workers: int = 16
+
+    # ------------------------------------------------------------- summaries
+    def best_subcubes(self) -> Optional[int]:
+        """Sub-cube count with the lowest time in the tail-off sweep."""
+        if not self.tail_off:
+            return None
+        return min(self.tail_off, key=self.tail_off.get)
+
+    def improvement_from_overlap(self, workers: int) -> float:
+        """Relative improvement of the 2x decomposition over 1x at ``workers``."""
+        base = self.curves[1].time_at(workers)
+        doubled = self.curves[2].time_at(workers)
+        return 1.0 - doubled / base
+
+    def table(self) -> str:
+        return figure5_table(self.curves)
+
+    def chart(self) -> str:
+        return figure5_chart(self.curves)
+
+    def tail_off_table(self) -> str:
+        rows = [[subcubes, seconds] for subcubes, seconds in sorted(self.tail_off.items())]
+        return format_table(["sub-cubes", "time (virtual s)"], rows,
+                            title=(f"Granularity tail-off at {self.tail_off_workers} "
+                                   f"workers (paper: tails off past ~32 sub-cubes)"))
+
+    def report(self) -> str:
+        parts = [self.table(), self.chart()]
+        if self.tail_off:
+            parts.append(self.tail_off_table())
+            parts.append(f"best decomposition in the tail-off sweep: "
+                         f"{self.best_subcubes()} sub-cubes")
+        return "\n\n".join(parts)
+
+
+def run_figure5(cube: HyperspectralCube, *,
+                processors: Sequence[int] = PAPER_SETUP.figure5_processors,
+                multipliers: Sequence[int] = PAPER_SETUP.figure5_multipliers,
+                tail_off_subcubes: Sequence[int] = (16, 32, 48, 96, 128),
+                tail_off_workers: int = 16,
+                prefetch: int = 2) -> Figure5Result:
+    """Run the Figure 5 sweeps on ``cube``.
+
+    Parameters
+    ----------
+    cube:
+        The collection to fuse (the paper uses the 320x320x105 cube).
+    processors / multipliers:
+        The grid of the main figure (#sub-cubes = multiplier x #workers).
+    tail_off_subcubes:
+        Additional sub-cube counts swept at ``tail_off_workers`` workers to
+        expose the per-message-overhead tail-off; pass an empty sequence to
+        skip that part.
+    """
+    curves: Dict[int, SpeedupCurve] = {}
+    for multiplier in multipliers:
+        curve = SpeedupCurve(f"#sub-cube = #proc x {multiplier}")
+        for workers in processors:
+            subcubes = min(workers * multiplier, cube.rows)
+            config = FusionConfig(partition=PartitionConfig(workers=workers,
+                                                            subcubes=subcubes))
+            outcome = DistributedPCT(config, prefetch=prefetch).fuse(cube)
+            curve.add(workers, outcome.elapsed_seconds)
+        curves[multiplier] = curve
+
+    tail_off: Dict[int, float] = {}
+    for subcubes in tail_off_subcubes:
+        if subcubes > cube.rows:
+            continue
+        config = FusionConfig(partition=PartitionConfig(workers=tail_off_workers,
+                                                        subcubes=subcubes))
+        outcome = DistributedPCT(config, prefetch=prefetch).fuse(cube)
+        tail_off[subcubes] = outcome.elapsed_seconds
+
+    return Figure5Result(curves=curves, tail_off=tail_off,
+                         tail_off_workers=tail_off_workers)
+
+
+__all__ = ["Figure5Result", "run_figure5"]

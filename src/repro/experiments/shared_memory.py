@@ -1,0 +1,74 @@
+"""Shared-memory multiprocessor ablation (Section 4, closing remarks).
+
+Compares the efficiency of the distributed algorithm on a shared-memory
+multiprocessor model (no communication cost beyond synchronisation) against
+the 100BaseT LAN model, reproducing the paper's remark that the concurrent
+algorithm "operates within 5% of linear speedup" on an SMP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from ..analysis.report import format_table
+from ..analysis.speedup import SpeedupCurve
+from ..cluster.presets import shared_memory_smp, sun_ultra_lan
+from ..config import FusionConfig, PartitionConfig
+from ..core.distributed import DistributedPCT
+from ..data.cube import HyperspectralCube
+
+
+@dataclass
+class SharedMemoryResult:
+    """Timing curves of the SMP and LAN runs of the same workload."""
+
+    smp: SpeedupCurve
+    lan: SpeedupCurve
+
+    def smp_worst_efficiency(self) -> float:
+        return self.smp.worst_efficiency()
+
+    def lan_worst_efficiency(self) -> float:
+        return self.lan.worst_efficiency()
+
+    def table(self) -> str:
+        processors = sorted(p.processors for p in self.smp.sorted_points())
+        smp_eff = self.smp.efficiency()
+        lan_eff = self.lan.efficiency()
+        rows = [[p, self.smp.time_at(p), self.lan.time_at(p), smp_eff[p], lan_eff[p]]
+                for p in processors]
+        return format_table(
+            ["processors", "SMP time (s)", "LAN time (s)", "SMP efficiency",
+             "LAN efficiency"],
+            rows,
+            title="Shared-memory ablation (paper: within 5% of linear speed-up on an SMP)")
+
+    def report(self) -> str:
+        return "\n\n".join([
+            self.table(),
+            (f"SMP worst-case efficiency {self.smp_worst_efficiency():.3f} "
+             f"vs LAN {self.lan_worst_efficiency():.3f}"),
+        ])
+
+
+def run_shared_memory_comparison(cube: HyperspectralCube, *,
+                                 processors: Sequence[int] = (1, 2, 4, 8),
+                                 subcubes: int = 16,
+                                 prefetch: int = 2) -> SharedMemoryResult:
+    """Run the same fusion workload on the SMP and LAN cluster presets."""
+    smp_curve = SpeedupCurve("shared-memory SMP")
+    lan_curve = SpeedupCurve("100BaseT LAN")
+    for workers in processors:
+        config = FusionConfig(partition=PartitionConfig(
+            workers=workers, subcubes=max(subcubes, workers)))
+        smp_outcome = DistributedPCT(config, cluster=shared_memory_smp(workers),
+                                     prefetch=prefetch).fuse(cube)
+        smp_curve.add(workers, smp_outcome.elapsed_seconds)
+        lan_outcome = DistributedPCT(config, cluster=sun_ultra_lan(workers),
+                                     prefetch=prefetch).fuse(cube)
+        lan_curve.add(workers, lan_outcome.elapsed_seconds)
+    return SharedMemoryResult(smp=smp_curve, lan=lan_curve)
+
+
+__all__ = ["SharedMemoryResult", "run_shared_memory_comparison"]

@@ -1,0 +1,46 @@
+"""Computational resiliency library.
+
+Implements Section 2 of the paper as an application-independent layer over
+the SCP runtime: replication policies (:mod:`.policy`), replica-group
+bookkeeping (:mod:`.replication`), heartbeat failure detection
+(:mod:`.detector`), dynamic regeneration with state restoration
+(:mod:`.recovery`), race-free communication reconfiguration
+(:mod:`.reconfigure`), resource-aware placement (:mod:`.resource`),
+scripted attack campaigns (:mod:`.attack`), camouflage through migration
+(:mod:`.camouflage`) and the coordinator that wires it all onto a run
+(:mod:`.coordinator`).
+"""
+
+from .attack import (FAIL_NODE, KILL_REPLICA, KILL_THREAD, AttackEvent,
+                     AttackScenario, ScriptedAdversary)
+from .camouflage import CamouflagePolicy, MigrationRecord
+from .coordinator import ResilienceCoordinator, protocol_config_for
+from .detector import HeartbeatFailureDetector, SuspicionRecord
+from .policy import ReplicationPolicy
+from .reconfigure import ReconfigurationProtocol, ReconfigurationRecord
+from .recovery import RecoveryEvent, RecoveryService
+from .replication import ReplicaGroup, ReplicationManager
+from .resource import ResourceManager
+
+__all__ = [
+    "FAIL_NODE",
+    "KILL_REPLICA",
+    "KILL_THREAD",
+    "AttackEvent",
+    "AttackScenario",
+    "ScriptedAdversary",
+    "CamouflagePolicy",
+    "MigrationRecord",
+    "ResilienceCoordinator",
+    "protocol_config_for",
+    "HeartbeatFailureDetector",
+    "SuspicionRecord",
+    "ReplicationPolicy",
+    "ReconfigurationProtocol",
+    "ReconfigurationRecord",
+    "RecoveryEvent",
+    "RecoveryService",
+    "ReplicaGroup",
+    "ReplicationManager",
+    "ResourceManager",
+]

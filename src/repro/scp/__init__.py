@@ -1,0 +1,73 @@
+"""SCPlib-like concurrent programming library.
+
+This subpackage provides the message-passing substrate the paper's
+application and resiliency layers are written against: thread programs as
+effect-yielding generators (:mod:`.effects`), explicit communication
+structures (:mod:`.topology`), logical-to-physical routing with duplicate
+suppression (:mod:`.group`, :mod:`.channel`) and two interchangeable
+execution backends -- real threads (:mod:`.local_backend`) and a
+deterministic discrete-event simulation of a workstation cluster
+(:mod:`.sim_backend`).
+"""
+
+from .channel import Mailbox
+from .effects import (Checkpoint, Compute, Effect, GetTime, Probe, Recv, Send,
+                      Sleep)
+from .errors import (DeadlockError, PlacementError, ReceiveTimeout,
+                     RuntimeStateError, SCPError, ThreadCrashedError,
+                     UnknownDestinationError)
+from .group import Router
+from .local_backend import LocalBackend
+from .runtime import (Application, Backend, Context, RunResult, ThreadOutcome,
+                      plan_placement)
+from .serialization import ENVELOPE_OVERHEAD_BYTES, Envelope, payload_nbytes
+from .sim_backend import (CONTROL_MESSAGE_BYTES, ProtocolConfig, SimBackend,
+                          TaskStatus)
+from .thread import ThreadProgram, ThreadSpec, parse_physical, physical_name
+from .topology import ChannelDecl, CommunicationStructure
+from .tracing import (ComputeInterval, LifecycleEvent, MessageRecord,
+                      TraceRecorder)
+
+__all__ = [
+    "Mailbox",
+    "Checkpoint",
+    "Compute",
+    "Effect",
+    "GetTime",
+    "Probe",
+    "Recv",
+    "Send",
+    "Sleep",
+    "DeadlockError",
+    "PlacementError",
+    "ReceiveTimeout",
+    "RuntimeStateError",
+    "SCPError",
+    "ThreadCrashedError",
+    "UnknownDestinationError",
+    "Router",
+    "LocalBackend",
+    "Application",
+    "Backend",
+    "Context",
+    "RunResult",
+    "ThreadOutcome",
+    "plan_placement",
+    "ENVELOPE_OVERHEAD_BYTES",
+    "Envelope",
+    "payload_nbytes",
+    "CONTROL_MESSAGE_BYTES",
+    "ProtocolConfig",
+    "SimBackend",
+    "TaskStatus",
+    "ThreadProgram",
+    "ThreadSpec",
+    "parse_physical",
+    "physical_name",
+    "ChannelDecl",
+    "CommunicationStructure",
+    "ComputeInterval",
+    "LifecycleEvent",
+    "MessageRecord",
+    "TraceRecorder",
+]

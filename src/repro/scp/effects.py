@@ -1,0 +1,167 @@
+"""Effect objects yielded by SCP thread programs.
+
+A *thread program* is a Python generator function taking a single ``ctx``
+argument (a backend-provided :class:`~repro.scp.runtime.Context`) and yielding
+effect objects.  The backend interprets each effect -- blocking queues and
+wall-clock time in the local backend, discrete events and virtual time in the
+simulated backend -- and resumes the generator with the effect's result.
+
+Writing programs this way gives exactly the property the paper requires of
+SCPlib applications: the *same* algorithm source runs unchanged on different
+execution substrates, because the communication structure and the computation
+are expressed declaratively rather than via a concrete threading API.
+
+Example
+-------
+A minimal echo worker::
+
+    def echo(ctx):
+        while True:
+            msg = yield Recv(port="request")
+            if msg.payload is None:
+                break
+            yield Send(dst="manager", port="reply", payload=msg.payload)
+
+The effects are deliberately small, frozen dataclasses: they are pure data
+and never perform work themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+class Effect:
+    """Marker base class for everything a thread program may yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Send(Effect):
+    """Send ``payload`` to the logical thread ``dst`` on ``port``.
+
+    Attributes
+    ----------
+    dst:
+        Logical destination name (e.g. ``"manager"`` or ``"worker.3"``).  The
+        runtime's router expands it to one or more physical replicas.
+    port:
+        Named port on the destination; receivers can selectively wait on it.
+    payload:
+        Arbitrary Python object; NumPy arrays are accounted at their true
+        byte size when computing transfer costs.
+    key:
+        Optional duplicate-suppression key.  When a logical sender is
+        replicated, every replica emits the same message; receivers keep only
+        the first copy carrying a given ``(logical_sender, key)``.  When
+        ``None`` the per-thread send sequence number is used, which is correct
+        as long as replicas remain in lock step.
+    urgent:
+        Urgent messages (heartbeats, control traffic) bypass payload-size
+        accounting in the local backend and are never deduplicated.
+    """
+
+    dst: str
+    port: str
+    payload: Any = None
+    key: Optional[Tuple[Any, ...]] = None
+    urgent: bool = False
+
+
+@dataclass(frozen=True)
+class Recv(Effect):
+    """Receive the next message, optionally restricted to ``port``.
+
+    The effect's result is a :class:`~repro.scp.serialization.Envelope`.
+
+    Attributes
+    ----------
+    port:
+        Only messages sent to this port are returned; ``None`` accepts any.
+    timeout:
+        Seconds (virtual or wall-clock) after which
+        :class:`~repro.scp.errors.ReceiveTimeout` is raised inside the
+        program.  ``None`` waits forever.
+    """
+
+    port: Optional[str] = None
+    timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Compute(Effect):
+    """Execute ``fn(*args, **kwargs)`` and charge its cost.
+
+    The function is executed for real in both backends (results are needed to
+    produce the fused image); the backends differ only in how elapsed time is
+    obtained -- measured in the local backend, derived from ``flops`` and the
+    hosting node's speed in the simulated backend.
+
+    Attributes
+    ----------
+    fn / args / kwargs:
+        The work to perform.
+    flops:
+        Estimated floating-point operations of the call; drives virtual time.
+    phase:
+        Label under which the cost is aggregated in run metrics
+        (e.g. ``"screening"`` or ``"transform"``).
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    flops: float = 0.0
+    phase: str = "compute"
+
+
+@dataclass(frozen=True)
+class Sleep(Effect):
+    """Suspend the thread for ``seconds`` of (virtual or wall-clock) time."""
+
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class Checkpoint(Effect):
+    """Publish a recoverable state snapshot to the resiliency layer.
+
+    If the thread's replica group later regenerates a replica, the new
+    replica's context exposes the most recent checkpoint as ``ctx.restored``.
+    Programs that are idempotent at the message level (such as the fusion
+    workers) may never need to checkpoint; the manager checkpoints its
+    partial accumulations so a replicated manager could be recovered.
+    """
+
+    state: Any = None
+
+
+@dataclass(frozen=True)
+class GetTime(Effect):
+    """Return the current time (virtual in simulation, wall-clock locally)."""
+
+
+@dataclass(frozen=True)
+class Probe(Effect):
+    """Non-blocking check for a pending message on ``port``.
+
+    The effect's result is ``True`` when a matching message is waiting.  The
+    fusion workers use this to overlap the request for the next sub-problem
+    with the computation of the current one, as described in Section 3.
+    """
+
+    port: Optional[str] = None
+
+
+__all__ = [
+    "Effect",
+    "Send",
+    "Recv",
+    "Compute",
+    "Sleep",
+    "Checkpoint",
+    "GetTime",
+    "Probe",
+]

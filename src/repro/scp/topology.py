@@ -1,0 +1,155 @@
+"""Explicit communication-structure description.
+
+The paper argues that reconfiguring a distributed application on the fly
+requires "an explicit representation of the communication structure used by
+the application".  :class:`CommunicationStructure` is that representation: a
+machine-independent, declarative description of the logical threads of an
+application and the channels between them.  The runtime uses it to validate
+sends (is the destination part of the declared structure?), the resiliency
+layer mutates it when replicas are regenerated on new nodes, and tests can
+assert structural invariants on it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .errors import UnknownDestinationError
+
+
+@dataclass(frozen=True)
+class ChannelDecl:
+    """A declared logical channel ``src --(port)--> dst``."""
+
+    src: str
+    dst: str
+    port: str
+
+    def reversed(self) -> "ChannelDecl":
+        return ChannelDecl(src=self.dst, dst=self.src, port=self.port)
+
+
+class CommunicationStructure:
+    """Declarative graph of logical threads and channels.
+
+    The structure is *logical*: replicas of a thread share the logical name
+    and therefore the declared channels.  Placement (which node hosts which
+    physical replica) is tracked separately by the backend/cluster; this
+    object only records the application-visible shape, which is exactly what
+    must be preserved across reconfigurations.
+    """
+
+    def __init__(self) -> None:
+        self._threads: Set[str] = set()
+        self._channels: Set[ChannelDecl] = set()
+        self._generation = 0
+
+    # --------------------------------------------------------------- threads
+    @property
+    def threads(self) -> List[str]:
+        return sorted(self._threads)
+
+    @property
+    def channels(self) -> List[ChannelDecl]:
+        return sorted(self._channels, key=lambda c: (c.src, c.dst, c.port))
+
+    @property
+    def generation(self) -> int:
+        """Incremented every time the structure is mutated (reconfiguration)."""
+        return self._generation
+
+    def add_thread(self, name: str) -> None:
+        if not name:
+            raise ValueError("thread name must be non-empty")
+        self._threads.add(name)
+        self._generation += 1
+
+    def remove_thread(self, name: str) -> None:
+        """Remove a logical thread and every channel touching it."""
+        self._threads.discard(name)
+        self._channels = {c for c in self._channels if c.src != name and c.dst != name}
+        self._generation += 1
+
+    def has_thread(self, name: str) -> bool:
+        return name in self._threads
+
+    # -------------------------------------------------------------- channels
+    def connect(self, src: str, dst: str, port: str, *, bidirectional: bool = False) -> None:
+        """Declare that ``src`` may send to ``dst`` on ``port``."""
+        for endpoint in (src, dst):
+            if endpoint not in self._threads:
+                raise UnknownDestinationError(
+                    f"cannot connect unknown thread {endpoint!r}; declare it first")
+        decl = ChannelDecl(src, dst, port)
+        self._channels.add(decl)
+        if bidirectional:
+            self._channels.add(decl.reversed())
+        self._generation += 1
+
+    def disconnect(self, src: str, dst: str, port: Optional[str] = None) -> None:
+        self._channels = {
+            c for c in self._channels
+            if not (c.src == src and c.dst == dst and (port is None or c.port == port))
+        }
+        self._generation += 1
+
+    def allows(self, src: str, dst: str, port: str) -> bool:
+        """True when the declared structure contains the channel."""
+        return ChannelDecl(src, dst, port) in self._channels
+
+    def destinations_of(self, src: str) -> List[Tuple[str, str]]:
+        """``(dst, port)`` pairs reachable from ``src``."""
+        return sorted({(c.dst, c.port) for c in self._channels if c.src == src})
+
+    def sources_of(self, dst: str) -> List[Tuple[str, str]]:
+        """``(src, port)`` pairs that may send to ``dst``."""
+        return sorted({(c.src, c.port) for c in self._channels if c.dst == dst})
+
+    def neighbours(self, name: str) -> Set[str]:
+        out = {c.dst for c in self._channels if c.src == name}
+        inc = {c.src for c in self._channels if c.dst == name}
+        return out | inc
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def manager_worker(cls, workers: int, *, manager: str = "manager",
+                       worker_prefix: str = "worker") -> "CommunicationStructure":
+        """The paper's manager/worker star topology.
+
+        The manager owns ``task`` channels towards every worker and every
+        worker owns ``result`` and ``request`` channels back to the manager.
+        """
+        structure = cls()
+        structure.add_thread(manager)
+        for i in range(workers):
+            name = f"{worker_prefix}.{i}"
+            structure.add_thread(name)
+            structure.connect(manager, name, "task")
+            structure.connect(manager, name, "control")
+            structure.connect(name, manager, "result")
+            structure.connect(name, manager, "request")
+        return structure
+
+    # -------------------------------------------------------------- validity
+    def validate(self) -> None:
+        """Check internal consistency (every channel endpoint is declared)."""
+        for channel in self._channels:
+            for endpoint in (channel.src, channel.dst):
+                if endpoint not in self._threads:
+                    raise UnknownDestinationError(
+                        f"channel {channel} references undeclared thread {endpoint!r}")
+
+    def copy(self) -> "CommunicationStructure":
+        clone = CommunicationStructure()
+        clone._threads = set(self._threads)
+        clone._channels = set(self._channels)
+        clone._generation = self._generation
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CommunicationStructure threads={len(self._threads)} "
+                f"channels={len(self._channels)} gen={self._generation}>")
+
+
+__all__ = ["ChannelDecl", "CommunicationStructure"]

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite.
+
+Data generation is the most expensive part of many tests, so the synthetic
+cubes are session-scoped; tests must treat them as read-only (any test that
+needs to mutate a cube copies it first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import sun_ultra_lan
+from repro.config import FusionConfig, PartitionConfig, ResilienceConfig, ScreeningConfig
+from repro.data.hydice import HydiceConfig, HydiceGenerator
+
+
+@pytest.fixture(scope="session")
+def tiny_cube():
+    """A small hyper-spectral cube for fast unit tests (16 bands, 32x32)."""
+    config = HydiceConfig(bands=16, rows=32, cols=32, seed=3,
+                          vehicles=1, camouflaged_vehicles=1)
+    return HydiceGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def small_cube():
+    """A slightly larger cube used by the integration tests (24 bands, 48x48)."""
+    config = HydiceConfig(bands=24, rows=48, cols=48, seed=7,
+                          vehicles=2, camouflaged_vehicles=1)
+    return HydiceGenerator(config).generate()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def fast_config():
+    """Fusion configuration sized for the tiny test cubes."""
+    return FusionConfig(
+        screening=ScreeningConfig(angle_threshold=0.05, max_unique=512),
+        partition=PartitionConfig(workers=2, subcubes=4),
+    )
+
+
+@pytest.fixture()
+def resilient_config(fast_config):
+    return fast_config.with_resilience(
+        ResilienceConfig(replication_level=2, heartbeat_period=0.05, heartbeat_misses=2))
+
+
+@pytest.fixture()
+def small_cluster():
+    """A 4-workstation shared-Ethernet cluster plus a manager node."""
+    return sun_ultra_lan(4)

@@ -1,0 +1,122 @@
+"""Unit tests for the interconnect models."""
+
+import pytest
+
+from repro.cluster.network import (LinkSpec, SharedEthernet,
+                                   SharedMemoryInterconnect, SwitchedNetwork)
+
+
+class TestLinkSpec:
+    def test_wire_time_scales_with_size(self):
+        link = LinkSpec(bandwidth_bytes_per_s=1e6, latency_s=0.0, per_message_overhead_s=0.0)
+        assert link.wire_time(1_000_000) == pytest.approx(1.0)
+        assert link.wire_time(500_000) == pytest.approx(0.5)
+
+    def test_message_cost_includes_latency_and_overhead(self):
+        link = LinkSpec(bandwidth_bytes_per_s=1e6, latency_s=0.01, per_message_overhead_s=0.02)
+        assert link.message_cost(1_000_000) == pytest.approx(1.03)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth_bytes_per_s=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            LinkSpec(latency_s=-1)
+
+
+class TestSharedEthernet:
+    def make(self):
+        return SharedEthernet(LinkSpec(bandwidth_bytes_per_s=1e6, latency_s=0.0,
+                                       per_message_overhead_s=0.0))
+
+    def test_single_transfer_window(self):
+        net = self.make()
+        start, finish = net.transfer_window("a", "b", 1_000_000, earliest=0.0)
+        assert start == pytest.approx(0.0)
+        assert finish == pytest.approx(1.0)
+
+    def test_concurrent_transfers_serialise_on_the_medium(self):
+        net = self.make()
+        net.transfer_window("a", "b", 1_000_000, earliest=0.0)
+        start2, finish2 = net.transfer_window("c", "d", 1_000_000, earliest=0.0)
+        # The second frame cannot start until the first has left the wire.
+        assert start2 == pytest.approx(1.0)
+        assert finish2 == pytest.approx(2.0)
+
+    def test_local_delivery_bypasses_medium(self):
+        net = self.make()
+        start, finish = net.transfer_window("a", "a", 10_000_000, earliest=5.0)
+        assert start == pytest.approx(5.0)
+        assert finish == pytest.approx(5.0 + net.local_delivery_time())
+
+    def test_accounting(self):
+        net = self.make()
+        net.transfer_window("a", "b", 1000, earliest=0.0)
+        net.transfer_window("b", "c", 2000, earliest=0.0)
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 3000
+        assert net.busy_time == pytest.approx(0.003)
+
+    def test_reset_clears_state(self):
+        net = self.make()
+        net.transfer_window("a", "b", 1_000_000, earliest=0.0)
+        net.reset()
+        assert net.messages_sent == 0
+        start, _ = net.transfer_window("a", "b", 1000, earliest=0.0)
+        assert start == pytest.approx(0.0)
+
+    def test_overhead_delays_start(self):
+        net = SharedEthernet(LinkSpec(bandwidth_bytes_per_s=1e6, latency_s=0.0,
+                                      per_message_overhead_s=0.5))
+        start, _ = net.transfer_window("a", "b", 1000, earliest=1.0)
+        assert start == pytest.approx(1.5)
+
+
+class TestSwitchedNetwork:
+    def make(self):
+        return SwitchedNetwork(LinkSpec(bandwidth_bytes_per_s=1e6, latency_s=0.0,
+                                        per_message_overhead_s=0.0))
+
+    def test_disjoint_pairs_do_not_contend(self):
+        net = self.make()
+        _, finish1 = net.transfer_window("a", "b", 1_000_000, earliest=0.0)
+        start2, finish2 = net.transfer_window("c", "d", 1_000_000, earliest=0.0)
+        assert start2 == pytest.approx(0.0)
+        assert finish1 == pytest.approx(finish2)
+
+    def test_shared_sender_serialises(self):
+        net = self.make()
+        net.transfer_window("a", "b", 1_000_000, earliest=0.0)
+        start2, _ = net.transfer_window("a", "c", 1_000_000, earliest=0.0)
+        assert start2 == pytest.approx(1.0)
+
+    def test_shared_receiver_serialises(self):
+        net = self.make()
+        net.transfer_window("a", "c", 1_000_000, earliest=0.0)
+        start2, _ = net.transfer_window("b", "c", 1_000_000, earliest=0.0)
+        assert start2 == pytest.approx(1.0)
+
+    def test_switched_is_never_slower_than_shared(self):
+        shared = SharedEthernet(LinkSpec(bandwidth_bytes_per_s=1e6, latency_s=0.0,
+                                         per_message_overhead_s=0.0))
+        switched = self.make()
+        transfers = [("a", "b"), ("c", "d"), ("e", "f"), ("a", "d")]
+        finish_shared = [shared.transfer_window(s, d, 500_000, 0.0)[1] for s, d in transfers]
+        finish_switched = [switched.transfer_window(s, d, 500_000, 0.0)[1] for s, d in transfers]
+        assert max(finish_switched) <= max(finish_shared) + 1e-12
+
+
+class TestSharedMemory:
+    def test_transfer_is_size_independent(self):
+        net = SharedMemoryInterconnect(sync_overhead_s=1e-6)
+        _, finish_small = net.transfer_window("a", "b", 100, earliest=0.0)
+        _, finish_large = net.transfer_window("a", "b", 100_000_000, earliest=0.0)
+        assert finish_small == pytest.approx(1e-6)
+        assert finish_large == pytest.approx(1e-6)
+
+    def test_no_contention(self):
+        net = SharedMemoryInterconnect()
+        start1, _ = net.transfer_window("a", "b", 1000, earliest=0.0)
+        start2, _ = net.transfer_window("c", "d", 1000, earliest=0.0)
+        assert start1 == start2 == pytest.approx(0.0)

@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) for the numerical kernels.
+
+These check the algebraic invariants of the algorithm steps over randomly
+generated inputs: screening produces a cover of the input at the requested
+angular resolution, covariance accumulation is partition-invariant, the PCT
+basis is orthonormal with variance-sorted components, and the colour mapping
+is bounded and shift/scale consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.partition import decompose, reassemble_composite
+from repro.core.steps.colormap import color_map, component_statistics
+from repro.core.steps.screening import (merge_unique_sets, screen_unique_set,
+                                        spectral_angles)
+from repro.core.steps.statistics import (covariance_matrix, covariance_sum,
+                                         mean_vector, partition_pixel_matrix)
+from repro.core.steps.transform import project, transformation_matrix
+
+# Global settings: the kernels are fast but data generation dominates, keep the
+# example counts moderate so the whole property suite stays under ~20 seconds.
+COMMON_SETTINGS = dict(max_examples=40, deadline=None)
+
+
+def pixel_matrices(min_pixels=4, max_pixels=120, min_bands=3, max_bands=24):
+    """Strategy producing well-conditioned (pixels, bands) matrices."""
+    return st.tuples(
+        st.integers(min_pixels, max_pixels),
+        st.integers(min_bands, max_bands),
+        st.integers(0, 2**31 - 1),
+    ).map(lambda args: _make_pixels(*args))
+
+
+def _make_pixels(n, bands, seed):
+    rng = np.random.default_rng(seed)
+    latent = rng.random((n, min(4, bands)))
+    mixing = rng.random((min(4, bands), bands)) + 0.05
+    return latent @ mixing + 0.01 + 0.05 * rng.random((n, bands))
+
+
+class TestScreeningProperties:
+    @given(pixels=pixel_matrices(), threshold=st.floats(0.02, 0.5))
+    @settings(**COMMON_SETTINGS)
+    def test_unique_set_is_a_cover(self, pixels, threshold):
+        """Every input pixel is within the threshold of some unique member."""
+        unique = screen_unique_set(pixels, threshold)
+        assert 1 <= unique.shape[0] <= pixels.shape[0]
+        angles = spectral_angles(pixels, unique)
+        assert angles.min(axis=1).max() <= threshold + 1e-9
+
+    @given(pixels=pixel_matrices(), threshold=st.floats(0.05, 0.5))
+    @settings(**COMMON_SETTINGS)
+    def test_members_are_mutually_separated(self, pixels, threshold):
+        unique = screen_unique_set(pixels, threshold)
+        if unique.shape[0] > 1:
+            angles = spectral_angles(unique, unique)
+            off_diagonal = angles[~np.eye(unique.shape[0], dtype=bool)]
+            assert off_diagonal.min() > threshold - 1e-9
+
+    @given(pixels=pixel_matrices(), threshold=st.floats(0.02, 0.3))
+    @settings(**COMMON_SETTINGS)
+    def test_threshold_monotonicity(self, pixels, threshold):
+        """A tighter threshold never yields a smaller unique set."""
+        loose = screen_unique_set(pixels, threshold * 2)
+        tight = screen_unique_set(pixels, threshold)
+        assert tight.shape[0] >= loose.shape[0]
+
+    @given(pixels=pixel_matrices(), threshold=st.floats(0.05, 0.4),
+           scale=st.floats(0.1, 50.0))
+    @settings(**COMMON_SETTINGS)
+    def test_brightness_invariance(self, pixels, threshold, scale):
+        """Screening depends only on spectral angle, never on brightness."""
+        base = screen_unique_set(pixels, threshold)
+        scaled = screen_unique_set(pixels * scale, threshold)
+        assert base.shape[0] == scaled.shape[0]
+
+    @given(pixels=pixel_matrices(min_pixels=8), threshold=st.floats(0.05, 0.4),
+           parts=st.integers(1, 5))
+    @settings(**COMMON_SETTINGS)
+    def test_partitioned_screening_still_covers(self, pixels, threshold, parts):
+        """Screening per partition and merging still covers every input pixel."""
+        partitions = partition_pixel_matrix(pixels, parts)
+        unique_sets = [screen_unique_set(p, threshold) for p in partitions if len(p)]
+        merged = merge_unique_sets(unique_sets, threshold)
+        angles = spectral_angles(pixels, merged)
+        assert angles.min(axis=1).max() <= threshold + 1e-9
+
+
+class TestStatisticsProperties:
+    @given(pixels=pixel_matrices(min_pixels=6), parts=st.integers(1, 6))
+    @settings(**COMMON_SETTINGS)
+    def test_partitioned_covariance_matches_global(self, pixels, parts):
+        mean = mean_vector(pixels)
+        global_cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        partial = [covariance_sum(p, mean)
+                   for p in partition_pixel_matrix(pixels, parts)]
+        partitioned_cov = covariance_matrix(partial, pixels.shape[0])
+        np.testing.assert_allclose(partitioned_cov, global_cov, atol=1e-8)
+
+    @given(pixels=pixel_matrices())
+    @settings(**COMMON_SETTINGS)
+    def test_covariance_symmetric_positive_semidefinite(self, pixels):
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        np.testing.assert_allclose(cov, cov.T, atol=1e-12)
+        eigenvalues = np.linalg.eigvalsh(cov)
+        assert eigenvalues.min() >= -1e-8 * max(1.0, eigenvalues.max())
+
+    @given(pixels=pixel_matrices(), shift=st.floats(-100.0, 100.0))
+    @settings(**COMMON_SETTINGS)
+    def test_covariance_shift_invariant(self, pixels, shift):
+        """Adding a constant to every pixel does not change the covariance."""
+        mean_a = mean_vector(pixels)
+        cov_a = covariance_matrix([covariance_sum(pixels, mean_a)], pixels.shape[0])
+        shifted = pixels + shift
+        mean_b = mean_vector(shifted)
+        cov_b = covariance_matrix([covariance_sum(shifted, mean_b)], pixels.shape[0])
+        np.testing.assert_allclose(cov_a, cov_b, atol=1e-6)
+
+
+class TestTransformProperties:
+    @given(pixels=pixel_matrices(min_pixels=10))
+    @settings(**COMMON_SETTINGS)
+    def test_basis_orthonormal_and_sorted(self, pixels):
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        basis = transformation_matrix(cov, mean, n_components=None)
+        gram = basis.components @ basis.components.T
+        np.testing.assert_allclose(gram, np.eye(basis.n_components), atol=1e-8)
+        assert np.all(np.diff(basis.eigenvalues) <= 1e-9)
+
+    @given(pixels=pixel_matrices(min_pixels=10))
+    @settings(**COMMON_SETTINGS)
+    def test_full_rank_projection_preserves_total_variance(self, pixels):
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        basis = transformation_matrix(cov, mean, n_components=None)
+        projected = project(pixels, basis)
+        np.testing.assert_allclose(projected.var(axis=0).sum(),
+                                   pixels.var(axis=0).sum(), rtol=1e-6)
+
+    @given(pixels=pixel_matrices(min_pixels=10), k=st.integers(1, 3))
+    @settings(**COMMON_SETTINGS)
+    def test_leading_components_capture_most_variance(self, pixels, k):
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        assume(np.trace(cov) > 1e-9)
+        full = transformation_matrix(cov, mean, n_components=None)
+        k = min(k, full.bands)
+        leading_share = full.eigenvalues[:k].sum() / full.eigenvalues.sum()
+        any_other_k = full.eigenvalues[-k:].sum() / full.eigenvalues.sum()
+        assert leading_share >= any_other_k - 1e-12
+
+
+class TestColormapProperties:
+    @given(components=arrays(np.float64, (6, 5, 3),
+                             elements=st.floats(-1e4, 1e4, allow_nan=False)))
+    @settings(**COMMON_SETTINGS)
+    def test_output_always_in_unit_range(self, components):
+        rgb = color_map(components)
+        assert np.all(rgb >= 0.0) and np.all(rgb <= 1.0)
+        assert np.all(np.isfinite(rgb))
+
+    @given(seed=st.integers(0, 2**31 - 1), scale=st.floats(0.5, 20.0),
+           shift=st.floats(-50.0, 50.0))
+    @settings(**COMMON_SETTINGS)
+    def test_self_normalising_map_is_affine_invariant(self, seed, scale, shift):
+        """Scaling/shifting all components uniformly does not change the
+        self-normalised composite (the stretch absorbs affine changes)."""
+        rng = np.random.default_rng(seed)
+        components = rng.standard_normal((8, 8, 3)) * 30.0
+        base = color_map(components)
+        transformed = color_map(components * scale + shift)
+        np.testing.assert_allclose(base, transformed, atol=1e-9)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(**COMMON_SETTINGS)
+    def test_blockwise_mapping_with_global_stats_is_seamless(self, seed):
+        rng = np.random.default_rng(seed)
+        components = rng.standard_normal((10, 6, 3)) * 25.0
+        mean, std = component_statistics(components)
+        whole = color_map(components, mean=mean, std=std)
+        top = color_map(components[:5], mean=mean, std=std)
+        bottom = color_map(components[5:], mean=mean, std=std)
+        np.testing.assert_allclose(np.concatenate([top, bottom], axis=0), whole)
+
+
+class TestPartitionProperties:
+    @given(rows=st.integers(1, 500), parts=st.integers(1, 40))
+    @settings(**COMMON_SETTINGS)
+    def test_decompose_partitions_rows_exactly(self, rows, parts):
+        assume(parts <= rows)
+        specs = decompose(rows, parts)
+        assert len(specs) == parts
+        assert specs[0].row_start == 0 and specs[-1].row_stop == rows
+        assert sum(s.rows for s in specs) == rows
+        sizes = [s.rows for s in specs]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(rows=st.integers(2, 60), cols=st.integers(1, 20), parts=st.integers(1, 10),
+           seed=st.integers(0, 1000))
+    @settings(**COMMON_SETTINGS)
+    def test_reassembly_is_exact_inverse_of_decomposition(self, rows, cols, parts, seed):
+        assume(parts <= rows)
+        rng = np.random.default_rng(seed)
+        image = rng.random((rows, cols, 3))
+        specs = decompose(rows, parts)
+        blocks = [(s, image[s.row_start:s.row_stop]) for s in specs]
+        np.testing.assert_array_equal(reassemble_composite(blocks, rows, cols), image)

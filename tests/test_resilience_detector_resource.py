@@ -1,0 +1,205 @@
+"""Unit tests for the failure detector, resource manager and reconfiguration."""
+
+import pytest
+
+from repro.cluster.presets import sun_ultra_lan
+from repro.config import ResilienceConfig
+from repro.resilience.detector import HeartbeatFailureDetector
+from repro.resilience.reconfigure import ReconfigurationProtocol
+from repro.resilience.resource import ResourceManager
+from repro.scp.errors import PlacementError
+from repro.scp.topology import CommunicationStructure
+
+
+class FakeClock:
+    def __init__(self):
+        self.value = 0.0
+
+    def __call__(self):
+        return self.value
+
+    def advance(self, dt):
+        self.value += dt
+
+
+class TestHeartbeatDetector:
+    def make(self, period=1.0, misses=3):
+        clock = FakeClock()
+        suspected = []
+        detector = HeartbeatFailureDetector(
+            period=period, misses=misses, clock=clock,
+            on_suspect=lambda pid, record: suspected.append(pid))
+        return detector, clock, suspected
+
+    def test_validation(self):
+        clock = FakeClock()
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(period=0, misses=3, clock=clock, on_suspect=print)
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(period=1, misses=0, clock=clock, on_suspect=print)
+
+    def test_healthy_replica_never_suspected(self):
+        detector, clock, suspected = self.make()
+        detector.watch("w#0")
+        for _ in range(10):
+            clock.advance(1.0)
+            detector.on_heartbeat("w#0")
+            detector.sweep()
+        assert suspected == []
+
+    def test_silent_replica_suspected_after_misses(self):
+        detector, clock, suspected = self.make(period=1.0, misses=3)
+        detector.watch("w#0")
+        clock.advance(2.9)
+        detector.sweep()
+        assert suspected == []
+        clock.advance(0.2)  # beyond 3 missed heartbeats
+        records = detector.sweep()
+        assert suspected == ["w#0"]
+        assert records[0].silence > 3.0
+
+    def test_suspicion_reported_only_once(self):
+        detector, clock, suspected = self.make(period=1.0, misses=2)
+        detector.watch("w#0")
+        clock.advance(5.0)
+        detector.sweep()
+        detector.sweep()
+        assert suspected == ["w#0"]
+
+    def test_heartbeat_clears_suspicion_path(self):
+        detector, clock, suspected = self.make(period=1.0, misses=2)
+        detector.watch("w#0")
+        clock.advance(1.5)
+        detector.on_heartbeat("w#0")
+        clock.advance(1.5)
+        detector.sweep()
+        assert suspected == []
+
+    def test_unknown_sender_auto_watched(self):
+        detector, clock, suspected = self.make()
+        detector.on_heartbeat("new#0")
+        assert "new#0" in detector.watched()
+
+    def test_forgotten_replica_not_suspected(self):
+        detector, clock, suspected = self.make(period=1.0, misses=1)
+        detector.watch("w#0")
+        detector.forget("w#0")
+        clock.advance(10.0)
+        detector.sweep()
+        assert suspected == []
+
+    def test_forgotten_replica_heartbeats_ignored(self):
+        detector, clock, _ = self.make()
+        detector.watch("w#0")
+        detector.forget("w#0")
+        detector.on_heartbeat("w#0")
+        assert "w#0" not in detector.watched()
+
+    def test_detection_latency_reported(self):
+        detector, clock, _ = self.make(period=0.5, misses=2)
+        detector.watch("w#0")
+        assert detector.detection_latency() is None
+        clock.advance(5.0)
+        detector.sweep()
+        assert detector.detection_latency() == pytest.approx(5.0)
+
+    def test_from_config(self):
+        clock = FakeClock()
+        detector = HeartbeatFailureDetector.from_config(
+            ResilienceConfig(heartbeat_period=0.25, heartbeat_misses=4),
+            clock=clock, on_suspect=lambda *_: None)
+        assert detector.timeout == pytest.approx(1.0)
+
+
+class TestResourceManager:
+    def test_prefers_least_loaded_alive_node(self):
+        cluster = sun_ultra_lan(3, manager_node=False)
+        cluster.place("a#0", "sun00")
+        cluster.place("b#0", "sun01")
+        cluster.place("c#0", "sun01")
+        manager = ResourceManager(cluster)
+        assert manager.select_node() == "sun02"
+
+    def test_avoids_nodes_hosting_the_same_group(self):
+        cluster = sun_ultra_lan(2, manager_node=False)
+        cluster.place("w#0", "sun00")
+        manager = ResourceManager(cluster)
+        chosen = manager.select_node(group_members=["w#0"])
+        assert chosen == "sun01"
+
+    def test_relaxes_colocation_when_no_alternative(self):
+        cluster = sun_ultra_lan(2, manager_node=False)
+        cluster.place("w#0", "sun00")
+        cluster.fail_node("sun01")
+        manager = ResourceManager(cluster)
+        # Only sun00 is alive; co-location is allowed as a last resort.
+        assert manager.select_node(group_members=["w#0"]) == "sun00"
+
+    def test_respects_memory_constraint(self):
+        cluster = sun_ultra_lan(2, manager_node=False)
+        manager = ResourceManager(cluster)
+        huge = cluster.node("sun00").spec.memory_bytes * 2
+        with pytest.raises(PlacementError):
+            manager.select_node(memory_bytes=huge)
+
+    def test_all_nodes_dead_raises(self):
+        cluster = sun_ultra_lan(2, manager_node=False)
+        cluster.fail_node("sun00")
+        cluster.fail_node("sun01")
+        with pytest.raises(PlacementError):
+            ResourceManager(cluster).select_node()
+
+    def test_excluded_nodes_never_chosen(self):
+        cluster = sun_ultra_lan(2, manager_node=False)
+        manager = ResourceManager(cluster, exclude_nodes=["sun00"])
+        assert manager.select_node() == "sun01"
+
+    def test_granularity_advice(self):
+        assert ResourceManager.suggest_subcubes(8, multiplier=2) == 16
+        assert ResourceManager.suggest_subcubes(16, multiplier=3, cap=32) == 32
+        with pytest.raises(ValueError):
+            ResourceManager.suggest_subcubes(0)
+
+    def test_utilisation_imbalance(self):
+        cluster = sun_ultra_lan(2, manager_node=False)
+        cluster.place("a#0", "sun00")
+        cluster.compute_seconds("a#0", 1e7)
+        manager = ResourceManager(cluster)
+        assert manager.utilisation_imbalance(elapsed=10.0) >= 1.0
+
+
+class TestReconfigurationProtocol:
+    def test_begin_complete_cycle(self):
+        structure = CommunicationStructure.manager_worker(2)
+        protocol = ReconfigurationProtocol(structure)
+        record = protocol.begin(time=1.0, logical="worker.0",
+                                failed_physical="worker.0#0")
+        protocol.complete(record, replacement_physical="worker.0#2", node="sun03")
+        assert protocol.count() == 1
+        assert protocol.completed()[0].replacement_physical == "worker.0#2"
+        assert protocol.aborted() == []
+
+    def test_abort_recorded(self):
+        protocol = ReconfigurationProtocol()
+        record = protocol.begin(time=0.0, logical="worker.1",
+                                failed_physical="worker.1#1")
+        protocol.abort(record, "no resources")
+        assert len(protocol.aborted()) == 1
+        assert protocol.completed() == []
+
+    def test_generation_bumped(self):
+        structure = CommunicationStructure.manager_worker(1)
+        before = structure.generation
+        protocol = ReconfigurationProtocol(structure)
+        protocol.begin(time=0.0, logical="worker.0", failed_physical="worker.0#0")
+        assert structure.generation > before
+
+    def test_summary(self):
+        protocol = ReconfigurationProtocol()
+        r1 = protocol.begin(time=0.0, logical="worker.0", failed_physical="worker.0#0")
+        protocol.complete(r1, replacement_physical="worker.0#2", node="n")
+        protocol.begin(time=1.0, logical="worker.0", failed_physical="worker.0#1")
+        summary = protocol.summary()
+        assert summary["total"] == 2
+        assert summary["completed"] == 1
+        assert summary["by_logical"]["worker.0"] == 2

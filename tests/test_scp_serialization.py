@@ -1,0 +1,82 @@
+"""Unit tests for message envelopes and payload size accounting."""
+
+import numpy as np
+import pytest
+
+from repro.scp.serialization import (ENVELOPE_OVERHEAD_BYTES, Envelope,
+                                     payload_nbytes)
+
+
+class TestPayloadNbytes:
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_numpy_array_uses_buffer_size(self):
+        array = np.zeros((10, 20), dtype=np.float32)
+        assert payload_nbytes(array) == array.nbytes
+
+    def test_bytes_and_strings(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("hello") == 5
+
+    def test_scalars(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(np.float64(1.0)) == 8
+
+    def test_containers_recurse(self):
+        array = np.zeros(100, dtype=np.float64)
+        payload = {"a": array, "b": [1, 2, 3]}
+        size = payload_nbytes(payload)
+        assert size >= array.nbytes + 24
+
+    def test_object_with_nbytes_estimate(self):
+        class Custom:
+            def nbytes_estimate(self):
+                return 12345
+
+        assert payload_nbytes(Custom()) == 12345
+
+    def test_dataclass_like_object_walks_dict(self):
+        class Holder:
+            def __init__(self):
+                self.data = np.zeros(1000, dtype=np.float32)
+                self.name = "x"
+
+        assert payload_nbytes(Holder()) >= 4000
+
+    def test_unknown_object_falls_back_to_pickle(self):
+        size = payload_nbytes(("a", "b", "c"))
+        assert size > 0
+
+    def test_array_dominates_nested_structure(self):
+        big = np.zeros((100, 100), dtype=np.float64)
+        nested = {"outer": {"inner": [big]}}
+        assert payload_nbytes(nested) >= big.nbytes
+
+
+class TestEnvelope:
+    def test_nbytes_includes_overhead(self):
+        env = Envelope(src="a", dst="b", port="p", payload=np.zeros(10, dtype=np.float64))
+        assert env.nbytes == ENVELOPE_OVERHEAD_BYTES + 80
+
+    def test_dedup_key_defaults_to_sequence(self):
+        env = Envelope(src="worker.1", dst="manager", port="result", seq=7)
+        assert env.dedup_key == ("worker.1", "result", 7)
+
+    def test_dedup_key_uses_explicit_key(self):
+        env = Envelope(src="worker.1", dst="manager", port="result", seq=7,
+                       key=("task", 3))
+        assert env.dedup_key == ("worker.1", "result", "task", 3)
+
+    def test_replicas_produce_identical_dedup_keys(self):
+        env_a = Envelope(src="worker.1", dst="manager", port="result", seq=4,
+                         key=("result", "screen", 2), src_physical="worker.1#0")
+        env_b = Envelope(src="worker.1", dst="manager", port="result", seq=9,
+                         key=("result", "screen", 2), src_physical="worker.1#1")
+        assert env_a.dedup_key == env_b.dedup_key
+
+    def test_different_ports_never_collide(self):
+        env_a = Envelope(src="w", dst="m", port="result", seq=1)
+        env_b = Envelope(src="w", dst="m", port="hello", seq=1)
+        assert env_a.dedup_key != env_b.dedup_key

@@ -1,0 +1,117 @@
+"""Unit tests for the explicit communication-structure description."""
+
+import pytest
+
+from repro.scp.errors import UnknownDestinationError
+from repro.scp.topology import ChannelDecl, CommunicationStructure
+
+
+class TestThreads:
+    def test_add_and_query(self):
+        structure = CommunicationStructure()
+        structure.add_thread("manager")
+        assert structure.has_thread("manager")
+        assert structure.threads == ["manager"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationStructure().add_thread("")
+
+    def test_remove_thread_drops_channels(self):
+        structure = CommunicationStructure()
+        structure.add_thread("a")
+        structure.add_thread("b")
+        structure.connect("a", "b", "data")
+        structure.remove_thread("b")
+        assert not structure.has_thread("b")
+        assert structure.channels == []
+
+
+class TestChannels:
+    def make(self):
+        structure = CommunicationStructure()
+        for name in ("a", "b", "c"):
+            structure.add_thread(name)
+        return structure
+
+    def test_connect_and_allows(self):
+        structure = self.make()
+        structure.connect("a", "b", "data")
+        assert structure.allows("a", "b", "data")
+        assert not structure.allows("b", "a", "data")
+        assert not structure.allows("a", "b", "other")
+
+    def test_bidirectional(self):
+        structure = self.make()
+        structure.connect("a", "b", "data", bidirectional=True)
+        assert structure.allows("a", "b", "data")
+        assert structure.allows("b", "a", "data")
+
+    def test_connect_unknown_thread_rejected(self):
+        structure = self.make()
+        with pytest.raises(UnknownDestinationError):
+            structure.connect("a", "ghost", "data")
+
+    def test_disconnect_specific_port(self):
+        structure = self.make()
+        structure.connect("a", "b", "data")
+        structure.connect("a", "b", "control")
+        structure.disconnect("a", "b", "data")
+        assert not structure.allows("a", "b", "data")
+        assert structure.allows("a", "b", "control")
+
+    def test_disconnect_all_ports(self):
+        structure = self.make()
+        structure.connect("a", "b", "data")
+        structure.connect("a", "b", "control")
+        structure.disconnect("a", "b")
+        assert structure.destinations_of("a") == []
+
+    def test_destinations_and_sources(self):
+        structure = self.make()
+        structure.connect("a", "b", "data")
+        structure.connect("a", "c", "data")
+        structure.connect("c", "a", "reply")
+        assert structure.destinations_of("a") == [("b", "data"), ("c", "data")]
+        assert structure.sources_of("a") == [("c", "reply")]
+
+    def test_neighbours(self):
+        structure = self.make()
+        structure.connect("a", "b", "data")
+        structure.connect("c", "a", "data")
+        assert structure.neighbours("a") == {"b", "c"}
+
+    def test_generation_increments_on_mutation(self):
+        structure = self.make()
+        before = structure.generation
+        structure.connect("a", "b", "data")
+        assert structure.generation > before
+
+    def test_copy_is_independent(self):
+        structure = self.make()
+        structure.connect("a", "b", "data")
+        clone = structure.copy()
+        clone.disconnect("a", "b")
+        assert structure.allows("a", "b", "data")
+        assert not clone.allows("a", "b", "data")
+
+
+class TestManagerWorkerFactory:
+    def test_star_topology(self):
+        structure = CommunicationStructure.manager_worker(3)
+        assert structure.has_thread("manager")
+        for i in range(3):
+            worker = f"worker.{i}"
+            assert structure.has_thread(worker)
+            assert structure.allows("manager", worker, "task")
+            assert structure.allows(worker, "manager", "result")
+            assert structure.allows(worker, "manager", "request")
+        # Workers never talk to each other directly.
+        assert not structure.allows("worker.0", "worker.1", "task")
+
+    def test_validate_passes_for_factory(self):
+        CommunicationStructure.manager_worker(2).validate()
+
+    def test_channel_decl_reversed(self):
+        decl = ChannelDecl("a", "b", "p")
+        assert decl.reversed() == ChannelDecl("b", "a", "p")

@@ -1,0 +1,183 @@
+"""Unit tests for spectral-angle screening (algorithm steps 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.steps.screening import (merge_flops, merge_unique_sets,
+                                        normalize_rows, screen_unique_set,
+                                        screening_flops, spectral_angles)
+
+
+def spectra_from_angles(angles, bands=8):
+    """Build unit vectors in a 2-D subspace with prescribed angles to the first axis."""
+    base = np.zeros(bands)
+    base[0] = 1.0
+    other = np.zeros(bands)
+    other[1] = 1.0
+    return np.stack([np.cos(a) * base + np.sin(a) * other for a in angles])
+
+
+class TestSpectralAngles:
+    def test_pairwise_matrix_shape(self):
+        a = np.random.default_rng(0).random((5, 12))
+        b = np.random.default_rng(1).random((3, 12))
+        assert spectral_angles(a, b).shape == (5, 3)
+
+    def test_known_angles(self):
+        spectra = spectra_from_angles([0.0, np.pi / 6, np.pi / 3])
+        angles = spectral_angles(spectra, spectra[:1])
+        np.testing.assert_allclose(angles[:, 0], [0.0, np.pi / 6, np.pi / 3], atol=1e-9)
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((4, 16))
+        scaled = a * rng.uniform(0.1, 10.0, size=(4, 1))
+        np.testing.assert_allclose(spectral_angles(a, a), spectral_angles(scaled, scaled),
+                                   atol=1e-6)
+
+    def test_normalize_rows_unit_norm(self):
+        rows = normalize_rows(np.random.default_rng(3).random((6, 10)) + 0.1)
+        np.testing.assert_allclose(np.linalg.norm(rows, axis=1), 1.0, atol=1e-12)
+
+    def test_normalize_rows_zero_vector_safe(self):
+        rows = normalize_rows(np.zeros((2, 4)))
+        assert np.all(np.isfinite(rows))
+
+
+class TestScreenUniqueSet:
+    def test_identical_pixels_collapse_to_one(self):
+        pixels = np.tile(np.array([1.0, 2.0, 3.0, 4.0]), (50, 1))
+        unique = screen_unique_set(pixels, 0.05)
+        assert unique.shape == (1, 4)
+
+    def test_distinct_pixels_all_kept(self):
+        spectra = spectra_from_angles([0.0, 0.3, 0.6, 0.9])
+        unique = screen_unique_set(spectra, 0.1)
+        assert unique.shape[0] == 4
+
+    def test_threshold_controls_set_size(self, small_cube):
+        pixels = small_cube.as_pixel_matrix()[::4]
+        loose = screen_unique_set(pixels, 0.15, max_unique=4096).shape[0]
+        tight = screen_unique_set(pixels, 0.03, max_unique=4096).shape[0]
+        assert tight > loose
+
+    def test_every_member_is_an_input_pixel(self):
+        rng = np.random.default_rng(4)
+        pixels = rng.random((200, 6)) + 0.1
+        unique = screen_unique_set(pixels, 0.2)
+        for member in unique:
+            assert np.any(np.all(np.isclose(pixels, member), axis=1))
+
+    def test_members_mutually_separated(self):
+        rng = np.random.default_rng(5)
+        pixels = rng.random((300, 8)) + 0.05
+        threshold = 0.15
+        unique = screen_unique_set(pixels, threshold)
+        if unique.shape[0] > 1:
+            angles = spectral_angles(unique, unique)
+            off_diagonal = angles[~np.eye(len(unique), dtype=bool)]
+            assert off_diagonal.min() > threshold * 0.999
+
+    def test_every_pixel_within_threshold_of_some_member(self):
+        rng = np.random.default_rng(6)
+        pixels = rng.random((300, 8)) + 0.05
+        threshold = 0.15
+        unique = screen_unique_set(pixels, threshold)
+        angles = spectral_angles(pixels, unique)
+        assert angles.min(axis=1).max() <= threshold + 1e-9
+
+    def test_max_unique_cap(self):
+        spectra = spectra_from_angles(np.linspace(0, 1.2, 40))
+        unique = screen_unique_set(spectra, 0.01, max_unique=10)
+        assert unique.shape[0] == 10
+
+    def test_sample_stride(self):
+        spectra = spectra_from_angles(np.linspace(0, 1.2, 40))
+        strided = screen_unique_set(spectra, 0.01, sample_stride=4)
+        assert strided.shape[0] <= 10
+
+    def test_rare_signature_retained(self, small_cube):
+        """A vehicle embedded in a dominant background must survive screening --
+        the core motivation for spectral screening in the paper."""
+        pixels = small_cube.as_pixel_matrix()
+        labels = small_cube.metadata["label_map"].reshape(-1)
+        materials = list(small_cube.metadata["materials"])
+        vehicle_pixels = pixels[labels == materials.index("vehicle")]
+        unique = screen_unique_set(pixels, 0.05, max_unique=4096)
+        angles = spectral_angles(vehicle_pixels, unique)
+        # Every vehicle pixel is represented by some unique-set member within
+        # the screening threshold.
+        assert angles.min(axis=1).max() <= 0.05 + 1e-9
+
+    def test_first_pixel_always_included(self):
+        rng = np.random.default_rng(7)
+        pixels = rng.random((10, 5)) + 0.1
+        unique = screen_unique_set(pixels, 0.3)
+        np.testing.assert_allclose(unique[0], pixels[0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            screen_unique_set(np.zeros((4, 4, 4)), 0.1)
+        with pytest.raises(ValueError):
+            screen_unique_set(np.zeros((4, 4)), 0.0)
+
+    def test_empty_input(self):
+        unique = screen_unique_set(np.empty((0, 5)), 0.1)
+        assert unique.shape == (0, 5)
+
+    def test_chunking_does_not_change_result(self):
+        rng = np.random.default_rng(8)
+        pixels = rng.random((500, 6)) + 0.1
+        a = screen_unique_set(pixels, 0.1, chunk_size=32)
+        b = screen_unique_set(pixels, 0.1, chunk_size=4096)
+        np.testing.assert_allclose(a, b)
+
+
+class TestMerge:
+    def test_union_merge_concatenates(self):
+        a = spectra_from_angles([0.0, 0.5])
+        b = spectra_from_angles([1.0])
+        merged = merge_unique_sets([a, b], 0.1)
+        assert merged.shape[0] == 3
+
+    def test_union_preserves_order(self):
+        a = spectra_from_angles([0.0, 0.5])
+        b = spectra_from_angles([1.0])
+        merged = merge_unique_sets([a, b], 0.1)
+        np.testing.assert_allclose(merged[:2], a)
+        np.testing.assert_allclose(merged[2:], b)
+
+    def test_rescreen_merge_removes_cross_partition_duplicates(self):
+        a = spectra_from_angles([0.0, 0.5])
+        b = spectra_from_angles([0.001, 1.0])  # near-duplicate of a[0]
+        merged = merge_unique_sets([a, b], 0.1, rescreen=True)
+        assert merged.shape[0] == 3
+
+    def test_empty_sets_skipped(self):
+        a = spectra_from_angles([0.0])
+        merged = merge_unique_sets([a, np.empty((0, 8))], 0.1)
+        assert merged.shape[0] == 1
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_unique_sets([np.empty((0, 8))], 0.1)
+
+    def test_band_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            merge_unique_sets([np.zeros((2, 5)), np.zeros((2, 6))], 0.1)
+
+    def test_max_unique_cap_applied(self):
+        sets = [spectra_from_angles(np.linspace(0, 1.0, 10)) for _ in range(4)]
+        merged = merge_unique_sets(sets, 0.01, max_unique=15)
+        assert merged.shape[0] == 15
+
+
+class TestCostModel:
+    def test_screening_flops_monotonic(self):
+        assert screening_flops(1000, 50, 100) > screening_flops(500, 50, 100)
+        assert screening_flops(1000, 100, 100) > screening_flops(1000, 50, 100)
+
+    def test_union_merge_flops_much_cheaper_than_rescreen(self):
+        union = merge_flops(1000, 400, 100, rescreen=False)
+        rescreen = merge_flops(1000, 400, 100, rescreen=True)
+        assert union < rescreen / 10

@@ -1,0 +1,201 @@
+"""Unit tests for steps 3-7: statistics and the principal component transform."""
+
+import numpy as np
+import pytest
+
+from repro.core.steps.statistics import (covariance_combine_flops,
+                                         covariance_matrix, covariance_sum,
+                                         covariance_sum_flops, mean_flops,
+                                         mean_vector, partition_pixel_matrix)
+from repro.core.steps.transform import (PCTBasis, eigendecomposition_flops,
+                                        project, project_cube_block,
+                                        projection_flops, transformation_matrix)
+
+
+def random_pixels(n=200, bands=12, seed=0):
+    rng = np.random.default_rng(seed)
+    latent = rng.random((n, 3))
+    mixing = rng.random((3, bands))
+    return latent @ mixing + 0.01 * rng.random((n, bands))
+
+
+class TestMeanVector:
+    def test_matches_numpy(self):
+        pixels = random_pixels()
+        np.testing.assert_allclose(mean_vector(pixels), pixels.mean(axis=0))
+
+    def test_accumulates_in_float64(self):
+        pixels = (np.ones((1000, 4), dtype=np.float32) * 1e7).astype(np.float32)
+        assert mean_vector(pixels).dtype == np.float64
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_vector(np.empty((0, 4)))
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(ValueError):
+            mean_vector(np.zeros(5))
+
+
+class TestCovariance:
+    def test_single_partition_matches_numpy_cov(self):
+        pixels = random_pixels()
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        expected = np.cov(pixels, rowvar=False, bias=True)
+        np.testing.assert_allclose(cov, expected, atol=1e-9)
+
+    def test_partitioned_sum_equals_global_sum(self):
+        pixels = random_pixels(n=301)
+        mean = mean_vector(pixels)
+        parts = partition_pixel_matrix(pixels, 4)
+        partial = [covariance_sum(p, mean) for p in parts]
+        total = covariance_matrix(partial, pixels.shape[0])
+        direct = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        np.testing.assert_allclose(total, direct, atol=1e-9)
+
+    def test_result_symmetric_and_psd(self):
+        pixels = random_pixels(seed=3)
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        np.testing.assert_allclose(cov, cov.T)
+        eigenvalues = np.linalg.eigvalsh(cov)
+        assert eigenvalues.min() > -1e-10
+
+    def test_mean_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            covariance_sum(np.zeros((5, 4)), np.zeros(3))
+
+    def test_zero_total_pixels_rejected(self):
+        with pytest.raises(ValueError):
+            covariance_matrix([np.eye(3)], 0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            covariance_matrix([np.eye(3), np.eye(4)], 10)
+
+    def test_partition_pixel_matrix_covers_everything(self):
+        pixels = random_pixels(n=103)
+        parts = partition_pixel_matrix(pixels, 5)
+        assert sum(p.shape[0] for p in parts) == 103
+        np.testing.assert_allclose(np.vstack(parts), pixels)
+
+    def test_partition_more_parts_than_rows(self):
+        pixels = random_pixels(n=3)
+        parts = partition_pixel_matrix(pixels, 10)
+        assert sum(p.shape[0] for p in parts) == 3
+
+
+class TestTransformationMatrix:
+    def test_eigenvalues_descending(self):
+        pixels = random_pixels()
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        basis = transformation_matrix(cov, mean, n_components=None)
+        assert np.all(np.diff(basis.eigenvalues) <= 1e-12)
+
+    def test_components_orthonormal(self):
+        pixels = random_pixels(seed=5)
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        basis = transformation_matrix(cov, mean, n_components=None)
+        gram = basis.components @ basis.components.T
+        np.testing.assert_allclose(gram, np.eye(basis.n_components), atol=1e-9)
+
+    def test_first_component_captures_most_variance(self):
+        pixels = random_pixels(seed=6)
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        basis = transformation_matrix(cov, mean, n_components=3)
+        projected = project(pixels, basis)
+        variances = projected.var(axis=0)
+        assert variances[0] >= variances[1] >= variances[2]
+        ratio = basis.explained_variance_ratio()
+        assert ratio[0] > 0.5
+
+    def test_projection_variance_equals_eigenvalue(self):
+        pixels = random_pixels(seed=7, n=2000)
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        basis = transformation_matrix(cov, mean, n_components=3)
+        projected = project(pixels, basis)
+        np.testing.assert_allclose(projected.var(axis=0), basis.eigenvalues[:3],
+                                   rtol=1e-6)
+
+    def test_deterministic_sign_convention(self):
+        pixels = random_pixels(seed=8)
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        a = transformation_matrix(cov, mean, n_components=3)
+        b = transformation_matrix(cov.copy(), mean.copy(), n_components=3)
+        np.testing.assert_array_equal(a.components, b.components)
+
+    def test_asymmetric_covariance_rejected(self):
+        bad = np.arange(9).reshape(3, 3).astype(float)
+        with pytest.raises(ValueError):
+            transformation_matrix(bad, np.zeros(3))
+
+    def test_bad_component_count_rejected(self):
+        cov = np.eye(4)
+        with pytest.raises(ValueError):
+            transformation_matrix(cov, np.zeros(4), n_components=0)
+        with pytest.raises(ValueError):
+            transformation_matrix(cov, np.zeros(4), n_components=9)
+
+    def test_mean_length_checked(self):
+        with pytest.raises(ValueError):
+            transformation_matrix(np.eye(3), np.zeros(4))
+
+
+class TestProjection:
+    def make_basis(self, bands=10, n_components=3, seed=9):
+        pixels = random_pixels(bands=bands, seed=seed)
+        mean = mean_vector(pixels)
+        cov = covariance_matrix([covariance_sum(pixels, mean)], pixels.shape[0])
+        return pixels, transformation_matrix(cov, mean, n_components=n_components)
+
+    def test_projection_shape(self):
+        pixels, basis = self.make_basis()
+        assert project(pixels, basis).shape == (pixels.shape[0], 3)
+
+    def test_full_rank_projection_preserves_distances(self):
+        pixels, basis = self.make_basis(n_components=None)
+        projected = project(pixels, basis)
+        d_original = np.linalg.norm(pixels[0] - pixels[1])
+        d_projected = np.linalg.norm(projected[0] - projected[1])
+        assert d_projected == pytest.approx(d_original, rel=1e-9)
+
+    def test_projected_components_uncorrelated(self):
+        pixels, basis = self.make_basis(n_components=3, seed=10)
+        projected = project(pixels, basis)
+        corr = np.corrcoef(projected, rowvar=False)
+        off_diag = corr[~np.eye(3, dtype=bool)]
+        assert np.all(np.abs(off_diag) < 0.05)
+
+    def test_cube_block_projection_matches_matrix(self):
+        pixels, basis = self.make_basis()
+        rows, cols = 20, 10
+        block = pixels.T.reshape(basis.bands, rows, cols)
+        block_projected = project_cube_block(block, basis)
+        matrix_projected = project(pixels, basis).reshape(rows, cols, 3)
+        np.testing.assert_allclose(block_projected, matrix_projected)
+
+    def test_band_mismatch_rejected(self):
+        _, basis = self.make_basis()
+        with pytest.raises(ValueError):
+            project(np.zeros((5, basis.bands + 1)), basis)
+        with pytest.raises(ValueError):
+            project_cube_block(np.zeros((basis.bands + 1, 4, 4)), basis)
+
+
+class TestCostModels:
+    def test_flop_estimators_positive_and_monotonic(self):
+        assert mean_flops(100, 10) > 0
+        assert covariance_sum_flops(100, 10) > covariance_sum_flops(50, 10)
+        assert covariance_combine_flops(4, 10) > 0
+        assert eigendecomposition_flops(200) > eigendecomposition_flops(100)
+        assert projection_flops(1000, 100, 100) > projection_flops(1000, 100, 3)
+
+    def test_eigendecomposition_cubic(self):
+        assert eigendecomposition_flops(200) == pytest.approx(
+            8 * eigendecomposition_flops(100))
