@@ -1,0 +1,152 @@
+"""Measured wall-clock speed-up: sequential vs the process-parallel backend.
+
+Every other benchmark in this harness regenerates a figure from *virtual*
+time on the simulated cluster.  This one measures the real thing: the
+sequential :class:`~repro.core.pipeline.SpectralScreeningPCT` is timed on the
+host, then ``DistributedPCT(backend="process")`` runs the identical problem
+on real OS processes, and the measured wall-clock speed-up curve is printed.
+
+Because measured speed-up is a property of the host, the >1.5x assertion is
+gated on the number of usable cores: a CI box pinned to one core cannot
+exhibit parallel speed-up, and pretending otherwise would make the benchmark
+flaky rather than informative.  The measured numbers are always recorded.
+
+The module doubles as a standalone script for the CI smoke job::
+
+    python benchmarks/bench_process_speedup.py --quick --json speedup.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from _bench_utils import record_report, scaled_extent
+from repro.data.hydice import HydiceConfig, HydiceGenerator
+from repro.experiments.measured import (MeasuredSpeedupResult,
+                                        run_measured_speedup)
+
+#: Worker count the acceptance assertion targets (the paper's smallest
+#: interesting configuration; also the core count of standard CI runners).
+TARGET_WORKERS = 4
+
+#: Minimum measured speed-up over sequential required at TARGET_WORKERS when
+#: the host has at least that many usable cores.
+MIN_SPEEDUP = 1.5
+
+
+def _quick_cube():
+    """Small cube for the CI smoke run (a few seconds end to end)."""
+    return HydiceGenerator(HydiceConfig(bands=48, rows=96, cols=96, seed=44)).generate()
+
+
+def _full_cube():
+    """The granularity-experiment cube at benchmark scale."""
+    config = HydiceConfig(bands=105, rows=scaled_extent(320),
+                          cols=scaled_extent(320), seed=44)
+    return HydiceGenerator(config).generate()
+
+
+def measure(*, quick: bool, processors=None) -> MeasuredSpeedupResult:
+    cube = _quick_cube() if quick else _full_cube()
+    processors = tuple(processors or ((1, 2) if quick else (1, 2, TARGET_WORKERS)))
+    return run_measured_speedup(cube, processors=processors)
+
+
+def check_speedup(result: MeasuredSpeedupResult, *, assert_speedup: bool = True) -> str:
+    """Assert the acceptance speed-up where the host can physically show it.
+
+    ``assert_speedup=False`` (the quick/CI-smoke mode) reports the measured
+    number without failing: a small smoke cube on a noisy shared runner is a
+    liveness check, not a performance measurement.  Returns a verdict line.
+    """
+    speedup = result.speedup()
+    if TARGET_WORKERS not in speedup:
+        best = max(speedup.values())
+        return (f"INFO: {TARGET_WORKERS}-worker point not in this sweep "
+                f"(best measured {best:.2f}x); the full benchmark asserts it")
+    measured = speedup[TARGET_WORKERS]
+    if result.available_cpus < TARGET_WORKERS:
+        return (f"SKIPPED speed-up assertion: host exposes {result.available_cpus} "
+                f"core(s) < {TARGET_WORKERS} workers (measured {measured:.2f}x)")
+    if not assert_speedup:
+        return (f"INFO (smoke mode): measured {measured:.2f}x with "
+                f"{TARGET_WORKERS} workers; the full benchmark asserts "
+                f"> {MIN_SPEEDUP}x")
+    if measured <= MIN_SPEEDUP:
+        # An explicit raise (not `assert`) so the acceptance gate survives -O.
+        raise AssertionError(
+            f"process backend reached only {measured:.2f}x speed-up with "
+            f"{TARGET_WORKERS} workers on {result.available_cpus} cores "
+            f"(required > {MIN_SPEEDUP}x)")
+    return f"PASS: {measured:.2f}x > {MIN_SPEEDUP}x with {TARGET_WORKERS} workers"
+
+
+# --------------------------------------------------------------------------
+# pytest entry point
+# --------------------------------------------------------------------------
+
+def test_process_speedup_vs_sequential(benchmark):
+    result = measure(quick=False)
+    verdict = check_speedup(result)
+    record_report("Measured process-parallel speed-up (wall clock)",
+                  f"{result.report()}\n{verdict}")
+
+    # Every worker count must at least complete and produce a sane time.
+    assert result.sequential_seconds > 0
+    assert all(point.elapsed_seconds > 0 for point in result.curve.points)
+
+    # Register one representative measured point with pytest-benchmark.
+    from repro.config import FusionConfig, PartitionConfig
+    from repro.core.distributed import DistributedPCT
+    from repro.experiments.measured import default_start_method
+    from repro.scp.process_backend import ProcessBackend
+
+    cube = _quick_cube()
+    config = FusionConfig(partition=PartitionConfig(workers=2, subcubes=4))
+    benchmark.pedantic(
+        lambda: DistributedPCT(
+            config,
+            backend=ProcessBackend(start_method=default_start_method())).fuse(cube),
+        rounds=1, iterations=1)
+
+
+# --------------------------------------------------------------------------
+# standalone entry point (CI smoke job artifact)
+# --------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure sequential vs process-parallel wall-clock speed-up")
+    parser.add_argument("--quick", action="store_true",
+                        help="small cube and worker sweep (CI smoke mode)")
+    parser.add_argument("--workers", type=int, nargs="+", default=None,
+                        help="worker counts to sweep (default depends on --quick)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the measured results to this JSON file")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail if the speed-up assertion cannot PASS "
+                             "(instead of skipping on core-starved hosts)")
+    args = parser.parse_args(argv)
+
+    result = measure(quick=args.quick, processors=args.workers)
+    verdict = check_speedup(result, assert_speedup=args.strict or not args.quick)
+    print(result.report())
+    print(verdict)
+
+    if args.json_path:
+        payload = result.as_dict()
+        payload["verdict"] = verdict
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json_path}")
+
+    if args.strict and not verdict.startswith("PASS"):
+        print("strict mode: speed-up assertion did not PASS", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

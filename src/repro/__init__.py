@@ -4,7 +4,9 @@ The library has four layers (see DESIGN.md for the full inventory):
 
 * :mod:`repro.data`        -- synthetic HYDICE-like hyper-spectral scenes,
 * :mod:`repro.scp`         -- the SCPlib-like message-passing runtime with a
-  real-thread backend and a discrete-event simulated-cluster backend,
+  real-thread backend, a real-process backend (shared-memory data placement,
+  measured wall-clock speed-up) and a discrete-event simulated-cluster
+  backend,
 * :mod:`repro.resilience`  -- computational resiliency: replication,
   detection, regeneration, reconfiguration, attacks, camouflage,
 * :mod:`repro.core`        -- the spectral-screening PCT fusion algorithm in
@@ -25,7 +27,7 @@ from .core import (DistributedPCT, DistributedRunOutcome, FusionResult,
                    ResilientPCT, ResilientRunOutcome, SpectralScreeningPCT)
 from .data import HydiceConfig, HydiceGenerator, HyperspectralCube, generate_cube
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FusionConfig",

@@ -19,7 +19,7 @@ later series (and marked with ``*`` when two series genuinely overlap).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from .speedup import SpeedupCurve
 

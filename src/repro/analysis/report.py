@@ -8,7 +8,7 @@ formatting so every benchmark prints consistent, diff-able rows.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 from .speedup import OverheadDecomposition, SpeedupCurve
 

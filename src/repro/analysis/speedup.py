@@ -10,7 +10,7 @@ and the protocol overhead ("approximately 10% plus the cost of replication").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass(frozen=True)

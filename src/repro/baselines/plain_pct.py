@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-import numpy as np
-
 from ..config import FusionConfig
 from ..core.pipeline import FusionResult
 from ..core.steps.colormap import color_map, component_statistics

@@ -52,6 +52,10 @@ def _build_parser() -> argparse.ArgumentParser:
     fuse.add_argument("cube", help="input .npz cube (from the generate command)")
     fuse.add_argument("--mode", choices=["sequential", "distributed", "resilient"],
                       default="sequential")
+    fuse.add_argument("--backend", choices=["sim", "local", "process"], default="sim",
+                      help="execution backend for distributed/resilient modes: "
+                           "'sim' models a cluster in virtual time, 'local' uses "
+                           "host threads, 'process' uses real parallel processes")
     fuse.add_argument("--workers", type=int, default=4)
     fuse.add_argument("--subcubes", type=int, default=None)
     fuse.add_argument("--replication", type=int, default=2)
@@ -61,6 +65,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser("sweep", help="run a small speed-up sweep (Figure 4 style)")
     sweep.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4, 8])
+    sweep.add_argument("--backend", choices=["sim", "local", "process"], default="sim",
+                       help="'sim' sweeps virtual time on the modelled cluster; "
+                            "'process' measures real wall-clock speed-up against "
+                            "the sequential reference")
     sweep.add_argument("--scale", type=float, default=0.25,
                        help="spatial scale of the paper's 320x320 cube")
     sweep.add_argument("--bands", type=int, default=105)
@@ -104,13 +112,17 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         result = SpectralScreeningPCT(config).fuse(cube)
         elapsed = None
     elif args.mode == "distributed":
-        outcome = DistributedPCT(config).fuse(cube)
+        outcome = DistributedPCT(config, backend=args.backend).fuse(cube)
         result, elapsed = outcome.result, outcome.elapsed_seconds
     else:
         resilience = ResilienceConfig(replication_level=args.replication)
         attack = (AttackScenario.single_worker_kill(args.attack, at=1.0)
                   if args.attack else None)
-        outcome = ResilientPCT(config.with_resilience(resilience), attack=attack).fuse(cube)
+        if attack is not None and args.backend != "sim":
+            raise SystemExit("scripted attacks need the simulated backend's "
+                             "virtual clock; use --backend sim with --attack")
+        outcome = ResilientPCT(config.with_resilience(resilience),
+                               backend=args.backend, attack=attack).fuse(cube)
         result, elapsed = outcome.result, outcome.elapsed_seconds
 
     summary = {
@@ -119,7 +131,8 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         "composite_shape": str(result.composite.shape),
     }
     if elapsed is not None:
-        summary["virtual_seconds"] = f"{elapsed:.2f}"
+        label = "virtual_seconds" if args.backend == "sim" else "wall_seconds"
+        summary[label] = f"{elapsed:.2f}"
     label_map = cube.metadata.get("target_mask")
     if label_map is not None:
         report = enhancement_report(cube, result.composite, label_map)
@@ -142,6 +155,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.bands != cube.bands:
         cube = HydiceGenerator(HydiceConfig(bands=args.bands, rows=cube.rows,
                                             cols=cube.cols, seed=args.seed)).generate()
+    if args.backend != "sim":
+        from .experiments.measured import run_measured_speedup
+
+        result = run_measured_speedup(cube, processors=tuple(args.workers),
+                                      backend=args.backend)
+        print(result.report())
+        return 0
     plain = SpeedupCurve("no resiliency")
     resilient = SpeedupCurve("resiliency level 2")
     for workers in args.workers:

@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..logging_utils import get_logger
 from .network import BaseInterconnect, SharedEthernet
-from .node import Node, NodeError, NodeSpec
+from .node import Node, NodeSpec
 
 _LOG = get_logger("cluster.machine")
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 
 @dataclass
@@ -35,7 +35,7 @@ class RunMetrics:
     elapsed_seconds:
         End-to-end (virtual or wall-clock) time of the run.
     backend:
-        ``"sim"``, ``"local"`` or ``"sequential"``.
+        ``"sim"``, ``"local"``, ``"process"`` or ``"sequential"``.
     workers / subcubes / replication_level:
         Run configuration echoed for convenience when tabulating sweeps.
     phase_seconds:

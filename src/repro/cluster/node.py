@@ -18,7 +18,7 @@ the resource manager when it places regenerated replicas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..logging_utils import get_logger

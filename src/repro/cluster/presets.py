@@ -24,7 +24,7 @@ dedicated node mirrors the testbed where the data source was not one of the
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from .machine import Cluster
 from .network import (LinkSpec, SharedEthernet, SharedMemoryInterconnect,
@@ -100,7 +100,8 @@ def shared_memory_smp(processors: int = 16, *, flops: float = SUN_ULTRA_FLOPS,
     microseconds of synchronisation regardless of size.  The manager runs on
     ``cpu00``.
     """
-    specs = [NodeSpec(name=f"cpu{i:02d}", flops=flops, memory_bytes=memory_bytes // max(processors, 1))
+    specs = [NodeSpec(name=f"cpu{i:02d}", flops=flops,
+                      memory_bytes=memory_bytes // max(processors, 1))
              for i in range(processors + 1)]
     return Cluster(specs, interconnect=SharedMemoryInterconnect(), name="shared-memory-smp")
 

@@ -2,7 +2,7 @@
 
 :class:`DistributedPCT` assembles the manager and worker thread programs into
 an SCP :class:`~repro.scp.runtime.Application`, runs it on a chosen backend
-and returns both the fusion output and the run metrics.  Two backends are
+and returns both the fusion output and the run metrics.  Three backends are
 supported out of the box:
 
 ``backend="sim"``
@@ -14,6 +14,14 @@ supported out of the box:
     Real Python threads on the host; used by the integration tests to
     exercise genuine concurrency and fault injection.
 
+``backend="process"``
+    Real operating-system processes (one interpreter per replica) with the
+    cube placed in shared memory.  This is the backend that delivers actual
+    wall-clock speed-up on multi-core hosts; its measured per-phase timings
+    feed the same :class:`~repro.cluster.metrics.RunMetrics` record, so
+    Figure-4-style curves can be produced from measured rather than modelled
+    times (see :mod:`repro.experiments.measured`).
+
 The composite produced is identical across backends and identical to the
 sequential :class:`~repro.core.pipeline.SpectralScreeningPCT` reference.
 """
@@ -21,7 +29,7 @@ sequential :class:`~repro.core.pipeline.SpectralScreeningPCT` reference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Optional, Union
 
 from ..cluster.machine import Cluster
 from ..cluster.metrics import RunMetrics
@@ -29,6 +37,7 @@ from ..cluster.presets import sun_ultra_lan
 from ..config import FusionConfig
 from ..data.cube import HyperspectralCube
 from ..scp.local_backend import LocalBackend
+from ..scp.process_backend import ProcessBackend
 from ..scp.runtime import Application, Backend, RunResult
 from ..scp.sim_backend import ProtocolConfig, SimBackend
 from ..scp.topology import CommunicationStructure
@@ -83,7 +92,7 @@ class DistributedPCT:
         to :func:`~repro.cluster.presets.sun_ultra_lan` sized to the worker
         count (plus a dedicated manager node).
     backend:
-        ``"sim"``, ``"local"``, or an already-constructed
+        ``"sim"``, ``"local"``, ``"process"``, or an already-constructed
         :class:`~repro.scp.runtime.Backend` instance.
     n_components:
         Principal components retained (>= 3).
@@ -169,6 +178,8 @@ class DistributedPCT:
             return self.backend_choice
         if self.backend_choice == "local":
             return LocalBackend()
+        if self.backend_choice == "process":
+            return ProcessBackend()
         if self.backend_choice == "sim":
             cluster = self.cluster or sun_ultra_lan(self.workers)
             return SimBackend(cluster,
@@ -177,7 +188,7 @@ class DistributedPCT:
                               protocol=self.protocol,
                               share_replica_results=self.share_replica_results)
         raise ValueError(f"unknown backend {self.backend_choice!r}; "
-                         f"expected 'sim', 'local' or a Backend instance")
+                         f"expected 'sim', 'local', 'process' or a Backend instance")
 
     # ------------------------------------------------------------------ fuse
     def fuse(self, cube: HyperspectralCube, *,
@@ -191,7 +202,7 @@ class DistributedPCT:
     def _execute(self, backend: Backend, app: Application) -> RunResult:
         if isinstance(backend, SimBackend):
             return backend.run(app)
-        if isinstance(backend, LocalBackend):
+        if isinstance(backend, (LocalBackend, ProcessBackend)):
             return backend.run(app, until_thread=MANAGER_NAME)
         return backend.run(app)
 

@@ -25,18 +25,15 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Generator, List, Optional, Sequence
 
-import numpy as np
-
 from ..config import FusionConfig
 from ..data.cube import HyperspectralCube
 from ..scp.effects import Checkpoint, Compute, Recv, Send
 from ..scp.errors import ReceiveTimeout
 from ..scp.runtime import Context
-from .messages import (ALL_PHASES, PHASE_COVARIANCE, PHASE_SCREEN,
-                       PHASE_TRANSFORM, PORT_HELLO, PORT_RESULT, PORT_TASK,
-                       StopWork, TaskAssignment, TaskResult, WorkerHello)
-from .partition import (SubcubeSpec, decompose, extract_subcube,
-                        reassemble_composite)
+from .messages import (PHASE_COVARIANCE, PHASE_SCREEN, PHASE_TRANSFORM,
+                       PORT_TASK, StopWork, TaskAssignment, TaskResult,
+                       WorkerHello)
+from .partition import decompose, extract_subcube, reassemble_composite
 from .pipeline import FusionResult
 from .steps.colormap import component_statistics
 from .steps.screening import merge_flops, merge_unique_sets

@@ -17,7 +17,7 @@ Figure 4 measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
 from ..cluster.machine import Cluster
 from ..cluster.metrics import RunMetrics
@@ -28,6 +28,7 @@ from ..resilience.attack import AttackScenario
 from ..resilience.coordinator import ResilienceCoordinator, protocol_config_for
 from ..resilience.policy import ReplicationPolicy
 from ..scp.local_backend import LocalBackend
+from ..scp.process_backend import ProcessBackend
 from ..scp.runtime import Application, Backend, RunResult
 from ..scp.sim_backend import SimBackend
 from .distributed import (MANAGER_NAME, DistributedPCT, DistributedRunOutcome)
@@ -62,7 +63,10 @@ class ResilientPCT:
         Optional cluster model; defaults to the paper's Sun/100BaseT preset
         sized to the worker count.
     backend:
-        ``"sim"`` (default) or ``"local"``.
+        ``"sim"`` (default), ``"local"`` or ``"process"``.  On the two real
+        backends failure detection relies on immediate death notifications
+        (a crashed worker process is observed by the parent) rather than on
+        modelled heartbeats, and regeneration spawns genuine replacements.
     attack:
         Optional :class:`~repro.resilience.attack.AttackScenario` injected
         during the run.
@@ -116,6 +120,8 @@ class ResilientPCT:
         """Instantiate the backend with the resiliency protocol cost model."""
         if self.backend_choice == "local":
             return LocalBackend()
+        if self.backend_choice == "process":
+            return ProcessBackend()
         if self.backend_choice == "sim":
             cluster = self.cluster or sun_ultra_lan(self.workers)
             self.cluster = cluster
@@ -159,7 +165,7 @@ class ResilientPCT:
                  placement: Optional[Dict[str, str]]) -> RunResult:
         if isinstance(backend, SimBackend):
             return backend.run(app, placement=placement, until_thread=MANAGER_NAME)
-        if isinstance(backend, LocalBackend):
+        if isinstance(backend, (LocalBackend, ProcessBackend)):
             return backend.run(app, until_thread=MANAGER_NAME)
         return backend.run(app)
 

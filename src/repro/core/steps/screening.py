@@ -18,7 +18,7 @@ set of survivors is resolved with an inner (short) loop.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

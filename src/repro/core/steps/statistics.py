@@ -14,7 +14,7 @@ band count, not the image size -- the same argument the paper makes.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

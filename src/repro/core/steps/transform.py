@@ -15,7 +15,7 @@ over the workers together with the colour mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

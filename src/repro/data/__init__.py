@@ -5,12 +5,14 @@ this subpackage provides a deterministic, physically-motivated synthetic
 stand-in (see the substitution table in DESIGN.md): a spectral signature
 library (:mod:`.signatures`), scene layout generation with embedded vehicle
 targets (:mod:`.scene`), a sensor noise model (:mod:`.noise`), the
-:class:`~repro.data.cube.HyperspectralCube` container (:mod:`.cube`) and the
-end-to-end generator (:mod:`.hydice`).
+:class:`~repro.data.cube.HyperspectralCube` container (:mod:`.cube`), the
+end-to-end generator (:mod:`.hydice`) and the shared-memory cube used by the
+process-parallel backend (:mod:`.shared`).
 """
 
 from .cube import CubeError, HyperspectralCube
 from .hydice import HydiceConfig, HydiceGenerator, generate_cube, solar_illumination
+from .shared import SharedCube, SharedCubeHandle, share_cube_params
 from .noise import NoiseModel, apply_sensor_noise, band_noise_sigma
 from .scene import (DEFAULT_MATERIALS, SceneLayout, VehiclePlacement,
                     generate_scene)
@@ -25,6 +27,9 @@ __all__ = [
     "HydiceGenerator",
     "generate_cube",
     "solar_illumination",
+    "SharedCube",
+    "SharedCubeHandle",
+    "share_cube_params",
     "NoiseModel",
     "apply_sensor_noise",
     "band_noise_sigma",

@@ -17,13 +17,13 @@ quantify target enhancement in the fused composite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .cube import HyperspectralCube
 from .noise import NoiseModel, apply_sensor_noise
-from .scene import DEFAULT_MATERIALS, SceneLayout, generate_scene
+from .scene import DEFAULT_MATERIALS, generate_scene
 from .signatures import HYDICE_MAX_NM, HYDICE_MIN_NM, signature_matrix
 
 

@@ -17,7 +17,6 @@ so whole scenes are reproducible from a single seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

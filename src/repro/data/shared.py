@@ -1,0 +1,193 @@
+"""Zero-copy sharing of hyper-spectral cubes between processes.
+
+The process-parallel backend (:mod:`repro.scp.process_backend`) runs the
+manager and the workers in separate operating-system processes.  Shipping the
+full data cube to the manager process by pickling it through a pipe would
+copy hundreds of megabytes at paper scale, so :class:`SharedCube` places the
+sample array in a POSIX shared-memory segment
+(:mod:`multiprocessing.shared_memory`) instead.  Pickling a :class:`SharedCube`
+transfers only a tiny :class:`SharedCubeHandle`; the receiving process maps
+the same physical pages and reads the samples without any copy.
+
+A :class:`SharedCube` *is a* :class:`~repro.data.cube.HyperspectralCube`, so
+every consumer of a cube (the manager program, ``extract_subcube`` and so on)
+works on it unchanged.  The creating process owns the segment: it must keep
+the cube alive for the duration of the run and call :meth:`SharedCube.close`
+(or use the cube as a context manager) to release the segment afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .cube import CubeError, HyperspectralCube
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    On CPython < 3.13 merely *attaching* to an existing segment registers it
+    with the resource tracker, which unlinks the segment when the attaching
+    process exits -- destroying it for the creator and every other process
+    (bpo-39959).  Only the creating process should own the segment's
+    lifetime, so registration is suppressed here: natively via ``track=False``
+    where available, otherwise by briefly disabling the tracker's hook.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class SharedCubeHandle:
+    """Everything a process needs to attach to a shared cube.
+
+    The handle is what actually travels through a pipe when a
+    :class:`SharedCube` is pickled: the segment name plus the (small) shape,
+    wavelength and metadata information.
+    """
+
+    name: str
+    shape: Tuple[int, int, int]
+    wavelengths_nm: np.ndarray
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class SharedCube(HyperspectralCube):
+    """A :class:`HyperspectralCube` whose samples live in shared memory.
+
+    Create one with :meth:`from_cube` (copies the samples into a fresh
+    segment exactly once) or :meth:`attach` (maps an existing segment with no
+    copy at all).  Pickling produces an :meth:`attach` call on the receiving
+    side, which is how the process backend hands the cube to the manager
+    process for free.
+    """
+
+    def __init__(self, data: np.ndarray, wavelengths_nm: np.ndarray,
+                 metadata: Dict[str, object], *,
+                 shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        super().__init__(data, wavelengths_nm, metadata)
+
+    # -------------------------------------------------------------- creation
+    @classmethod
+    def from_cube(cls, cube: HyperspectralCube) -> "SharedCube":
+        """Copy ``cube``'s samples into a new shared-memory segment.
+
+        Passing a :class:`SharedCube` returns it unchanged (sharing an
+        already-shared cube must not duplicate the segment).
+        """
+        if isinstance(cube, SharedCube):
+            return cube
+        data = np.ascontiguousarray(cube.data, dtype=np.float32)
+        shm = shared_memory.SharedMemory(create=True, size=max(data.nbytes, 1))
+        view = np.ndarray(data.shape, dtype=np.float32, buffer=shm.buf)
+        view[:] = data
+        return cls(view, cube.wavelengths_nm.copy(), dict(cube.metadata),
+                   shm=shm, owner=True)
+
+    @classmethod
+    def attach(cls, handle: SharedCubeHandle) -> "SharedCube":
+        """Map an existing segment described by ``handle`` (zero copy)."""
+        shm = _attach_untracked(handle.name)
+        view = np.ndarray(tuple(handle.shape), dtype=np.float32, buffer=shm.buf)
+        return cls(view, np.asarray(handle.wavelengths_nm), dict(handle.metadata),
+                   shm=shm, owner=False)
+
+    # -------------------------------------------------------------- identity
+    @property
+    def segment_name(self) -> str:
+        """Operating-system name of the backing shared-memory segment."""
+        return self._shm.name
+
+    @property
+    def is_owner(self) -> bool:
+        """Whether this process created (and must unlink) the segment."""
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def handle(self) -> SharedCubeHandle:
+        """The picklable description other processes attach with."""
+        if self._closed:
+            raise CubeError("shared cube segment has been released")
+        return SharedCubeHandle(name=self._shm.name,
+                                shape=(self.bands, self.rows, self.cols),
+                                wavelengths_nm=self.wavelengths_nm.copy(),
+                                metadata=dict(self.metadata))
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the local mapping; the owner also destroys the segment.
+
+        After closing, the cube's data may no longer be accessed.  Closing
+        twice is harmless.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # Drop the numpy view so the exported memoryview can be released.
+        self.data = np.zeros((1, 1, 1), dtype=np.float32)
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a caller still holds a view
+            return
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def __enter__(self) -> "SharedCube":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- pickling
+    def __reduce__(self):
+        return (SharedCube.attach, (self.handle(),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("owner" if self._owner else "attached")
+        return (f"<SharedCube {self.bands}x{self.rows}x{self.cols} "
+                f"segment={self._shm.name!r} {state}>")
+
+
+def share_cube_params(params: Dict[str, object]) -> Tuple[Dict[str, object], list]:
+    """Replace every :class:`HyperspectralCube` value with a :class:`SharedCube`.
+
+    Returns the rewritten parameter dict plus the list of segments created
+    here (which the caller must close once the run is over).  Used by the
+    process backend so thread specifications never pickle bulk sample data.
+    """
+    created = []
+    shared: Dict[str, object] = {}
+    for key, value in params.items():
+        if isinstance(value, HyperspectralCube) and not isinstance(value, SharedCube):
+            cube = SharedCube.from_cube(value)
+            created.append(cube)
+            shared[key] = cube
+        else:
+            shared[key] = value
+    return shared, created
+
+
+__all__ = ["SharedCube", "SharedCubeHandle", "share_cube_params"]

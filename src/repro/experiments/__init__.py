@@ -6,11 +6,14 @@ interface are thin wrappers around them):
 
 * :mod:`.figure4` -- speed-up with and without resiliency,
 * :mod:`.figure5` -- granularity control and the tail-off sweep,
-* :mod:`.shared_memory` -- the shared-memory multiprocessor ablation.
+* :mod:`.shared_memory` -- the shared-memory multiprocessor ablation,
+* :mod:`.measured` -- measured wall-clock speed-up on the process backend.
 """
 
 from .figure4 import Figure4Result, run_figure4
 from .figure5 import Figure5Result, run_figure5
+from .measured import (MeasuredSpeedupResult, available_cpus,
+                       run_measured_speedup)
 from .shared_memory import SharedMemoryResult, run_shared_memory_comparison
 
 __all__ = [
@@ -18,6 +21,9 @@ __all__ = [
     "run_figure4",
     "Figure5Result",
     "run_figure5",
+    "MeasuredSpeedupResult",
+    "available_cpus",
+    "run_measured_speedup",
     "SharedMemoryResult",
     "run_shared_memory_comparison",
 ]

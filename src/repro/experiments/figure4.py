@@ -11,7 +11,7 @@ overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..analysis.figures import figure4_chart
 from ..analysis.report import figure4_table, overhead_table

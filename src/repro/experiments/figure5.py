@@ -9,7 +9,7 @@ series with their table and chart renderings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..analysis.figures import figure5_chart
 from ..analysis.report import figure5_table, format_table

@@ -8,8 +8,8 @@ algorithm "operates within 5% of linear speedup" on an SMP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from ..analysis.report import format_table
 from ..analysis.speedup import SpeedupCurve

@@ -10,7 +10,7 @@ those fields without forcing every call site to repeat them.
 from __future__ import annotations
 
 import logging
-from typing import Any, Mapping, MutableMapping, Optional
+from typing import Any, MutableMapping
 
 _ROOT_NAME = "repro"
 

@@ -15,7 +15,7 @@ seed.  The :class:`ScriptedAdversary` is what arms them on a backend.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

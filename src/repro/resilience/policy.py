@@ -14,7 +14,7 @@ so that each workstation ends up hosting replicas of two different workers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import ResilienceConfig

@@ -24,7 +24,7 @@ restored state from a surviving replica's node (size / link bandwidth).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..logging_utils import get_logger

@@ -19,7 +19,7 @@ decisions and placement decisions live behind one interface.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 from ..cluster.machine import Cluster
 from ..logging_utils import get_logger

@@ -4,8 +4,9 @@ This subpackage provides the message-passing substrate the paper's
 application and resiliency layers are written against: thread programs as
 effect-yielding generators (:mod:`.effects`), explicit communication
 structures (:mod:`.topology`), logical-to-physical routing with duplicate
-suppression (:mod:`.group`, :mod:`.channel`) and two interchangeable
-execution backends -- real threads (:mod:`.local_backend`) and a
+suppression (:mod:`.group`, :mod:`.channel`) and three interchangeable
+execution backends -- real threads (:mod:`.local_backend`), real processes
+with shared-memory data placement (:mod:`.process_backend`) and a
 deterministic discrete-event simulation of a workstation cluster
 (:mod:`.sim_backend`).
 """
@@ -18,6 +19,7 @@ from .errors import (DeadlockError, PlacementError, ReceiveTimeout,
                      UnknownDestinationError)
 from .group import Router
 from .local_backend import LocalBackend
+from .process_backend import ProcessBackend
 from .runtime import (Application, Backend, Context, RunResult, ThreadOutcome,
                       plan_placement)
 from .serialization import ENVELOPE_OVERHEAD_BYTES, Envelope, payload_nbytes
@@ -47,6 +49,7 @@ __all__ = [
     "UnknownDestinationError",
     "Router",
     "LocalBackend",
+    "ProcessBackend",
     "Application",
     "Backend",
     "Context",

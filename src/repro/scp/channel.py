@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Callable, Deque, List, Optional, Set, Tuple
+from typing import Deque, List, Optional, Set, Tuple
 
 from .serialization import Envelope
 

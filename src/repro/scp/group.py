@@ -11,7 +11,7 @@ identifiers at all.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, List, Optional
 
 from .errors import UnknownDestinationError
 from .thread import parse_physical

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
 
 from ..cluster.metrics import MetricsCollector
 from ..logging_utils import get_logger

@@ -1,0 +1,586 @@
+"""Process-parallel execution backend: real OS processes, wall-clock time.
+
+This backend runs the *same* thread programs as the simulated and local
+backends, but on genuine :class:`multiprocessing.Process` workers, one per
+physical replica.  Unlike the thread-based :class:`~repro.scp.local_backend.
+LocalBackend` -- which shares a single CPython interpreter and therefore a
+single GIL -- every replica here owns an interpreter of its own, so compute
+phases genuinely overlap on multi-core hosts and the measured wall-clock
+speed-up is real rather than simulated.
+
+Architecture
+------------
+The parent process is the *post office*: it owns the logical-to-physical
+:class:`~repro.scp.group.Router` and a single ``outbox`` queue that every
+child writes to.  A child never talks to another child directly; a
+:class:`~repro.scp.effects.Send` becomes a pickled
+:class:`~repro.scp.serialization.Envelope` on the outbox, the parent expands
+the logical destination to the live replicas and deposits the envelope on
+each replica's private ``inbox`` queue.  Inside the child the inbox feeds the
+ordinary :class:`~repro.scp.channel.Mailbox`, so port filtering and duplicate
+suppression behave exactly as on the other backends.
+
+Bulk problem data is *not* pickled: thread parameters holding a
+:class:`~repro.data.cube.HyperspectralCube` are transparently converted to
+:class:`~repro.data.shared.SharedCube`, whose samples live in a shared-memory
+segment that every process maps zero-copy.
+
+Crash handling mirrors the local backend: a program exception is reported and
+recorded as a ``"crashed"`` outcome (raised as
+:class:`~repro.scp.errors.ThreadCrashedError` after the run under the default
+crash policy), and a process that dies without reporting -- a hard kill, an
+out-of-memory kill, a segfault -- is detected by the parent's liveness sweep.
+Death notifications feed the same ``subscribe_thread_death`` /
+``spawn_thread`` control interface the resiliency layer drives on the other
+backends, so failed workers can be regenerated as fresh processes mid-run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..cluster.metrics import MetricsCollector
+from ..data.shared import share_cube_params
+from ..logging_utils import get_logger
+from .channel import Mailbox
+from .effects import Checkpoint, Compute, GetTime, Probe, Recv, Send, Sleep
+from .errors import (ReceiveTimeout, RuntimeStateError, SCPError,
+                     ThreadCrashedError)
+from .group import Router
+from .runtime import Application, Backend, Context, RunResult, ThreadOutcome
+from .serialization import Envelope
+from .thread import ThreadSpec, physical_name
+
+_LOG = get_logger("scp.process")
+
+#: Sentinel deposited on a child's inbox to request an orderly exit.
+_SHUTDOWN = "__scp_shutdown__"
+
+#: Seconds a process may be dead without a terminal record before the parent
+#: declares it crashed (gives the queue feeder time to flush a late report).
+_DEATH_CONFIRM_SECONDS = 0.25
+
+#: Spacing of the duplicate-suppression sequence ranges of successive
+#: incarnations, so a regenerated replica's un-keyed messages are never
+#: mistaken for its predecessor's.
+_INCARNATION_SEQ_STRIDE = 1_000_000
+
+
+class _ShutdownSignal(Exception):
+    """Internal control flow: the parent asked this child to exit."""
+
+
+# ---------------------------------------------------------------------------
+# Child-process side
+# ---------------------------------------------------------------------------
+
+def _child_main(logical: str, replica: int, physical_id: str, node: str,
+                program: Callable, params: Dict[str, Any], restored: Any,
+                incarnation: int, inbox, outbox, epoch: float) -> None:
+    """Interpret one thread program inside a worker process.
+
+    Everything observable leaves through ``outbox`` as small tagged tuples:
+    ``("send", pid, envelope)``, ``("phase", pid, node, name, seconds)``,
+    ``("checkpoint", logical, state)``, ``("finished", pid, result, dups)``
+    and ``("crashed", pid, message)``.
+    """
+    ctx = Context(name=logical, replica=replica, physical_id=physical_id,
+                  node=node, params=dict(params), restored=restored,
+                  incarnation=incarnation)
+    mailbox = Mailbox(physical_id, dedup=True, thread_safe=False)
+    send_seq = incarnation * _INCARNATION_SEQ_STRIDE
+
+    def now() -> float:
+        return time.time() - epoch
+
+    def absorb(item: Any) -> None:
+        if isinstance(item, str) and item == _SHUTDOWN:
+            raise _ShutdownSignal()
+        mailbox.deposit(item)
+
+    def drain_nonblocking() -> None:
+        while True:
+            try:
+                item = inbox.get_nowait()
+            except queue_module.Empty:
+                return
+            absorb(item)
+
+    def do_recv(effect: Recv):
+        deadline = (None if effect.timeout is None
+                    else time.monotonic() + effect.timeout)
+        while True:
+            envelope = mailbox.try_consume(effect.port)
+            if envelope is not None:
+                envelope.deliver_time = now()
+                return envelope
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise ReceiveTimeout(physical_id, effect.port, effect.timeout or 0.0)
+            wait = 0.5 if remaining is None else min(remaining, 0.5)
+            try:
+                item = inbox.get(timeout=wait)
+            except queue_module.Empty:
+                continue
+            absorb(item)
+
+    def execute(effect):
+        nonlocal send_seq
+        if isinstance(effect, Compute):
+            start = time.perf_counter()
+            result = effect.fn(*effect.args, **effect.kwargs)
+            outbox.put(("phase", physical_id, node, effect.phase,
+                        time.perf_counter() - start))
+            return result
+        if isinstance(effect, Send):
+            send_seq += 1
+            envelope = Envelope(src=logical, dst=effect.dst, port=effect.port,
+                                payload=effect.payload, seq=send_seq,
+                                key=effect.key, src_physical=physical_id,
+                                urgent=effect.urgent, send_time=now())
+            outbox.put(("send", physical_id, envelope))
+            return None
+        if isinstance(effect, Recv):
+            return do_recv(effect)
+        if isinstance(effect, Probe):
+            drain_nonblocking()
+            return mailbox.has_matching(effect.port)
+        if isinstance(effect, Sleep):
+            time.sleep(max(0.0, effect.seconds))
+            return None
+        if isinstance(effect, Checkpoint):
+            outbox.put(("checkpoint", logical, effect.state))
+            return None
+        if isinstance(effect, GetTime):
+            return now()
+        raise SCPError(f"program yielded a non-effect object: {effect!r}")
+
+    gen = program(ctx, **params)
+    value: Any = None
+    throw: Optional[BaseException] = None
+    try:
+        while True:
+            try:
+                if throw is not None:
+                    exc, throw = throw, None
+                    effect = gen.throw(exc)
+                else:
+                    effect = gen.send(value)
+            except StopIteration as stop:
+                outbox.put(("finished", physical_id, stop.value,
+                            mailbox.suppressed_duplicates))
+                return
+            try:
+                value = execute(effect)
+            except _ShutdownSignal:
+                raise
+            except ReceiveTimeout as err:
+                value, throw = None, err
+    except _ShutdownSignal:
+        return
+    except ReceiveTimeout as err:
+        outbox.put(("crashed", physical_id, f"uncaught ReceiveTimeout: {err}"))
+    except Exception as err:  # noqa: BLE001 - program errors are reported
+        outbox.put(("crashed", physical_id, repr(err)))
+
+
+# ---------------------------------------------------------------------------
+# Parent-process side
+# ---------------------------------------------------------------------------
+
+class _ProcessTask:
+    """Parent-side record of one physical replica."""
+
+    def __init__(self, spec: ThreadSpec, replica: int, physical_id: str,
+                 incarnation: int) -> None:
+        self.spec = spec
+        self.logical = spec.name
+        self.replica = replica
+        self.physical_id = physical_id
+        self.incarnation = incarnation
+        self.daemon = spec.daemon
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.inbox = None
+        self.status = "ready"
+        self.result: Any = None
+        self.error: Optional[str] = None
+        self.first_seen_dead: Optional[float] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.status in ("ready", "running")
+
+
+class ProcessBackend(Backend):
+    """Multi-process execution backend with shared-memory data placement."""
+
+    kind = "process"
+
+    def __init__(self, *, crash_policy: str = "raise",
+                 default_timeout: Optional[float] = 300.0,
+                 start_method: str = "spawn",
+                 shutdown_grace: float = 5.0) -> None:
+        """Create a process backend.
+
+        Parameters
+        ----------
+        crash_policy:
+            ``"raise"`` re-raises the first program crash as
+            :class:`ThreadCrashedError` after the run; ``"record"`` only
+            records it in the outcomes.
+        default_timeout:
+            Wall-clock safety limit (seconds) applied to :meth:`run` unless
+            overridden; prevents a wedged run from hanging forever.
+        start_method:
+            ``multiprocessing`` start method.  ``"spawn"`` (default) is
+            portable and immune to fork-with-threads hazards; ``"fork"``
+            starts faster on Linux.
+        shutdown_grace:
+            Seconds stragglers are given to exit on their own once the
+            ``until_thread`` has finished, before being shut down.
+        """
+        if crash_policy not in ("raise", "record"):
+            raise ValueError("crash_policy must be 'raise' or 'record'")
+        self.crash_policy = crash_policy
+        self.default_timeout = default_timeout
+        self.start_method = start_method
+        self.shutdown_grace = shutdown_grace
+        self.router = Router()
+        self.collector = MetricsCollector()
+        self._mp = multiprocessing.get_context(start_method)
+        self._tasks: Dict[str, _ProcessTask] = {}
+        self._lock = threading.RLock()
+        self._dead_letters: Dict[str, List[Envelope]] = {}
+        self._death_callbacks: List[Callable[[str, str, str], None]] = []
+        self._checkpoints: Dict[str, Any] = {}
+        self._shared_params: Dict[str, Dict[str, Any]] = {}
+        self._shared_cubes: List[Any] = []
+        self._outbox = None
+        self._messages = 0
+        self._bytes = 0
+        self._epoch = 0.0
+        self._start_time = 0.0
+        self._app: Optional[Application] = None
+        self._ran = False
+
+    # --------------------------------------------------------------- queries
+    @property
+    def now(self) -> float:
+        """Seconds since the run started (wall clock)."""
+        return time.perf_counter() - self._start_time if self._start_time else 0.0
+
+    def live_replicas(self, logical: str) -> List[str]:
+        with self._lock:
+            return [pid for pid in self.router.physical_targets(logical)
+                    if pid in self._tasks and self._tasks[pid].alive]
+
+    def checkpoint_of(self, logical: str) -> Any:
+        with self._lock:
+            return self._checkpoints.get(logical)
+
+    def subscribe_thread_death(self, callback: Callable[[str, str, str], None]) -> None:
+        self._death_callbacks.append(callback)
+
+    # ------------------------------------------------------------------- run
+    def run(self, app: Application, *, timeout: Optional[float] = None,
+            until_thread: Optional[str] = None) -> RunResult:
+        """Run ``app`` on real processes.
+
+        ``until_thread`` names a logical thread whose completion ends the run
+        (stragglers get ``shutdown_grace`` seconds to drain, then are shut
+        down), exactly as on the local backend.
+        """
+        if self._ran:
+            raise RuntimeStateError("ProcessBackend instances are single use; create a new one")
+        self._ran = True
+        app.validate()
+        self._app = app
+        timeout = timeout if timeout is not None else self.default_timeout
+        self._outbox = self._mp.Queue()
+        self._epoch = time.time()
+        self._start_time = time.perf_counter()
+
+        try:
+            with self._lock:
+                tasks = [self._create_task(spec, replica, restored=None, incarnation=0)
+                         for spec in app.specs
+                         for replica in range(spec.replicas)]
+            for task in tasks:
+                self._start_task(task)
+            deadline = (time.perf_counter() + timeout) if timeout is not None else None
+            self._event_loop(until_thread, deadline)
+            elapsed = time.perf_counter() - self._start_time
+            return self._build_result(elapsed)
+        finally:
+            self._cleanup()
+
+    # ------------------------------------------------------------ event loop
+    def _event_loop(self, until_thread: Optional[str], deadline: Optional[float]) -> None:
+        while True:
+            self._pump(0.02)
+            self._sweep_dead_processes()
+            with self._lock:
+                if until_thread is not None:
+                    group = [t for t in self._tasks.values() if t.logical == until_thread]
+                    done = any(t.status == "finished" for t in group)
+                    if done or all(not t.alive for t in group):
+                        break
+                else:
+                    if not any(t.alive for t in self._tasks.values() if not t.daemon):
+                        break
+            if deadline is not None and time.perf_counter() > deadline:
+                with self._lock:
+                    stuck = [t.physical_id for t in self._tasks.values() if t.alive]
+                for pid in stuck:
+                    self.kill_thread(pid, reason="timeout")
+                raise SCPError(f"process run timed out; still alive: {stuck}")
+        self._drain_stragglers(until_thread, deadline)
+
+    def _drain_stragglers(self, until_thread: Optional[str],
+                          deadline: Optional[float]) -> None:
+        """Give remaining processes a grace period, then shut them down."""
+        grace_end = time.perf_counter() + self.shutdown_grace
+        while True:
+            self._pump(0.02)
+            self._sweep_dead_processes()
+            with self._lock:
+                pending = [t for t in self._tasks.values() if t.alive and not t.daemon
+                           and t.logical != until_thread]
+            if not pending:
+                break
+            now = time.perf_counter()
+            if now > grace_end or (deadline is not None and now > deadline):
+                for task in pending:
+                    self.kill_thread(task.physical_id, reason="shutdown")
+                break
+        with self._lock:
+            leftovers = [t for t in self._tasks.values() if t.alive]
+        for task in leftovers:
+            self.kill_thread(task.physical_id, reason="shutdown")
+        # Collect any last reports (a worker may have finished during the
+        # sweep above) without blocking on an empty queue.
+        for _ in range(50):
+            if not self._pump(0.0):
+                break
+
+    def _pump(self, block_seconds: float) -> int:
+        """Process queued child records; returns how many were handled."""
+        handled = 0
+        block = block_seconds > 0
+        while True:
+            try:
+                record = (self._outbox.get(timeout=block_seconds) if block
+                          else self._outbox.get_nowait())
+            except queue_module.Empty:
+                return handled
+            block = False  # only the first get may block
+            self._handle_record(record)
+            handled += 1
+
+    def _handle_record(self, record: tuple) -> None:
+        tag = record[0]
+        if tag == "send":
+            envelope = record[2]
+            self._route(envelope)
+        elif tag == "phase":
+            _, pid, node, phase, seconds = record
+            with self._lock:
+                self.collector.add_phase(phase, seconds)
+                self.collector.add_node_busy(node, seconds)
+        elif tag == "checkpoint":
+            _, logical, state = record
+            with self._lock:
+                self._checkpoints[logical] = state
+        elif tag == "finished":
+            _, pid, result, suppressed = record
+            with self._lock:
+                task = self._tasks.get(pid)
+                if task is None or not task.alive:
+                    return
+                task.status = "finished"
+                task.result = result
+                self.router.unregister(pid)
+                if suppressed:
+                    self.collector.increment("duplicates_suppressed", suppressed)
+        elif tag == "crashed":
+            _, pid, message = record
+            self._crash(pid, message)
+        else:  # pragma: no cover - protocol bug
+            _LOG.warning("unknown child record %r", record)
+
+    def _route(self, envelope: Envelope) -> None:
+        with self._lock:
+            targets = [pid for pid in self.router.physical_targets(envelope.dst)
+                       if pid in self._tasks and self._tasks[pid].alive]
+            if not targets:
+                self._dead_letters.setdefault(envelope.dst, []).append(envelope)
+                self.collector.increment("dead_lettered")
+                return
+            self._messages += len(targets)
+            self._bytes += envelope.nbytes * len(targets)
+            inboxes = [self._tasks[pid].inbox for pid in targets]
+        for inbox in inboxes:
+            inbox.put(envelope)
+
+    def _sweep_dead_processes(self) -> None:
+        """Detect replicas whose process died without a terminal report."""
+        now = time.perf_counter()
+        suspicious: List[str] = []
+        with self._lock:
+            for task in self._tasks.values():
+                if task.status != "running" or task.process is None:
+                    continue
+                if task.process.exitcode is None:
+                    task.first_seen_dead = None
+                    continue
+                if task.first_seen_dead is None:
+                    task.first_seen_dead = now
+                elif now - task.first_seen_dead >= _DEATH_CONFIRM_SECONDS:
+                    suspicious.append(task.physical_id)
+        for pid in suspicious:
+            with self._lock:
+                task = self._tasks.get(pid)
+                exitcode = task.process.exitcode if task and task.process else None
+                # A report may have been handled between the sweep and now.
+                if task is None or task.status != "running":
+                    continue
+            self._crash(pid, f"process died without reporting (exit code {exitcode})")
+
+    # --------------------------------------------------------- task plumbing
+    def _create_task(self, spec: ThreadSpec, replica: int, *, restored: Any,
+                     incarnation: int) -> _ProcessTask:
+        pid = physical_name(spec.name, replica)
+        if pid in self._tasks and self._tasks[pid].alive:
+            raise RuntimeStateError(f"physical thread {pid!r} already exists and is alive")
+        if spec.name not in self._shared_params:
+            params, created = share_cube_params(spec.params)
+            self._shared_params[spec.name] = params
+            self._shared_cubes.extend(created)
+        task = _ProcessTask(spec, replica, pid, incarnation)
+        task.inbox = self._mp.Queue()
+        task.process = self._mp.Process(
+            target=_child_main,
+            args=(spec.name, replica, pid, pid, spec.program,
+                  self._shared_params[spec.name], restored, incarnation,
+                  task.inbox, self._outbox, self._epoch),
+            name=pid, daemon=True)
+        self._tasks[pid] = task
+        self.router.register(spec.name, pid)
+        for envelope in self._dead_letters.pop(spec.name, []):
+            task.inbox.put(envelope)
+        return task
+
+    def _start_task(self, task: _ProcessTask) -> None:
+        task.status = "running"
+        task.process.start()
+
+    # ----------------------------------------------------------- termination
+    def _crash(self, pid: str, message: str) -> None:
+        with self._lock:
+            task = self._tasks.get(pid)
+            if task is None or not task.alive:
+                return
+            task.status = "crashed"
+            task.error = message
+            self.router.unregister(pid)
+            self.collector.increment("crashes")
+            logical = task.logical
+        _LOG.warning("process %s crashed: %s", pid, message)
+        for callback in self._death_callbacks:
+            callback(pid, logical, "crashed")
+
+    # --------------------------------------------------- resiliency controls
+    def kill_thread(self, physical_id: str, reason: str = "killed") -> bool:
+        """Forcefully terminate a replica's process (fault injection)."""
+        with self._lock:
+            task = self._tasks.get(physical_id)
+            if task is None or not task.alive:
+                return False
+            task.status = "killed"
+            self.router.unregister(physical_id)
+            if reason == "killed":
+                self.collector.increment("failures_injected")
+            process = task.process
+            logical = task.logical
+        if process is not None and process.is_alive():
+            if reason == "killed":
+                process.kill()  # SIGKILL: indistinguishable from a real crash
+            else:
+                try:
+                    task.inbox.put(_SHUTDOWN)
+                except Exception:  # pragma: no cover - queue already closed
+                    pass
+                process.join(timeout=1.0)
+                if process.is_alive():
+                    process.kill()
+        if reason == "killed":
+            for callback in self._death_callbacks:
+                callback(physical_id, logical, reason)
+        return True
+
+    def spawn_thread(self, spec: ThreadSpec, *, replica: int, node: Optional[str] = None,
+                     restored: Any = None, incarnation: int = 1) -> str:
+        """Regenerate a replica as a brand-new process while the run goes on."""
+        with self._lock:
+            task = self._create_task(spec, replica, restored=restored,
+                                     incarnation=incarnation)
+            self.collector.increment("replicas_regenerated")
+        self._start_task(task)
+        return task.physical_id
+
+    # ---------------------------------------------------------------- result
+    def _build_result(self, elapsed: float) -> RunResult:
+        returns: Dict[str, Any] = {}
+        outcomes: Dict[str, ThreadOutcome] = {}
+        first_crash: Optional[tuple] = None
+        with self._lock:
+            for pid, task in self._tasks.items():
+                outcomes[pid] = ThreadOutcome(physical_id=pid, logical=task.logical,
+                                              replica=task.replica, status=task.status,
+                                              result=task.result, error=task.error)
+                if task.status == "finished" and task.logical not in returns:
+                    returns[task.logical] = task.result
+                if task.status == "crashed" and first_crash is None:
+                    first_crash = (pid, task.error)
+            workers = sum(1 for s in (self._app.specs if self._app else [])
+                          if s.name.startswith("worker"))
+            replication = max((s.replicas for s in (self._app.specs if self._app else [])),
+                              default=1)
+            metrics = self.collector.finalise(
+                elapsed_seconds=elapsed, backend=self.kind,
+                workers=max(workers, 1), subcubes=0, replication_level=replication,
+                messages=self._messages, bytes_sent=self._bytes)
+        if first_crash is not None and self.crash_policy == "raise":
+            raise ThreadCrashedError(first_crash[0], f"{first_crash[0]}: {first_crash[1]}")
+        return RunResult(returns=returns, outcomes=outcomes, metrics=metrics,
+                         elapsed_seconds=elapsed)
+
+    # --------------------------------------------------------------- cleanup
+    def _cleanup(self) -> None:
+        with self._lock:
+            tasks = list(self._tasks.values())
+        for task in tasks:
+            process = task.process
+            if process is None:
+                continue
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+        for task in tasks:
+            if task.inbox is not None:
+                task.inbox.cancel_join_thread()
+                task.inbox.close()
+        if self._outbox is not None:
+            self._outbox.cancel_join_thread()
+            self._outbox.close()
+        for cube in self._shared_cubes:
+            cube.close()
+        self._shared_cubes.clear()
+
+
+__all__ = ["ProcessBackend"]

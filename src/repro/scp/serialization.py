@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pickle
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 import numpy as np

@@ -12,8 +12,8 @@ assert structural invariants on it directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
 
 from .errors import UnknownDestinationError
 

@@ -7,7 +7,6 @@ from repro.cli import main
 from repro.cluster.presets import sun_ultra_lan
 from repro.config import ResilienceConfig
 from repro.core.distributed import DistributedPCT
-from repro.data.cube import HyperspectralCube
 from repro.resilience.coordinator import (ResilienceCoordinator,
                                           protocol_config_for)
 from repro.scp.sim_backend import SimBackend

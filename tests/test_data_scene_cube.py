@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.cube import CubeError, HyperspectralCube
-from repro.data.scene import DEFAULT_MATERIALS, generate_scene
+from repro.data.scene import generate_scene
 
 
 class TestSceneGeneration:

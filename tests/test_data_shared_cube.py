@@ -1,0 +1,88 @@
+"""SharedCube: zero-copy cube placement in shared memory."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.cube import CubeError, HyperspectralCube
+from repro.data.shared import SharedCube, share_cube_params
+
+
+def test_from_cube_preserves_contents(tiny_cube):
+    shared = SharedCube.from_cube(tiny_cube)
+    try:
+        assert isinstance(shared, HyperspectralCube)
+        assert shared.shape == tiny_cube.shape
+        np.testing.assert_array_equal(shared.data, tiny_cube.data)
+        np.testing.assert_array_equal(shared.wavelengths_nm, tiny_cube.wavelengths_nm)
+        assert shared.metadata.keys() == tiny_cube.metadata.keys()
+        assert shared.is_owner
+    finally:
+        shared.close()
+
+
+def test_from_cube_is_idempotent_on_shared_cubes(tiny_cube):
+    with SharedCube.from_cube(tiny_cube) as shared:
+        assert SharedCube.from_cube(shared) is shared
+
+
+def test_attach_maps_the_same_pages(tiny_cube):
+    with SharedCube.from_cube(tiny_cube) as shared:
+        attached = SharedCube.attach(shared.handle())
+        try:
+            assert attached.segment_name == shared.segment_name
+            assert not attached.is_owner
+            np.testing.assert_array_equal(attached.data, shared.data)
+            # Same physical pages: a write through one mapping is visible
+            # through the other (this is what makes the sharing zero-copy).
+            shared.data[0, 0, 0] = 123.5
+            assert attached.data[0, 0, 0] == np.float32(123.5)
+        finally:
+            attached.close()
+
+
+def test_pickle_roundtrip_transfers_only_a_handle(tiny_cube):
+    with SharedCube.from_cube(tiny_cube) as shared:
+        blob = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+        # The payload must be the handle, not the samples.
+        assert len(blob) < shared.data.nbytes / 10
+        clone = pickle.loads(blob)
+        try:
+            assert clone.segment_name == shared.segment_name
+            np.testing.assert_array_equal(clone.data, shared.data)
+        finally:
+            clone.close()
+
+
+def test_owner_close_destroys_the_segment(tiny_cube):
+    shared = SharedCube.from_cube(tiny_cube)
+    handle = shared.handle()
+    shared.close()
+    assert shared.closed
+    shared.close()  # double close is harmless
+    with pytest.raises((FileNotFoundError, CubeError)):
+        SharedCube.attach(handle)
+
+
+def test_handle_refused_after_close(tiny_cube):
+    shared = SharedCube.from_cube(tiny_cube)
+    shared.close()
+    with pytest.raises(CubeError):
+        shared.handle()
+
+
+def test_share_cube_params_rewrites_only_cubes(tiny_cube):
+    params = {"cube": tiny_cube, "n": 3, "label": "x"}
+    shared, created = share_cube_params(params)
+    try:
+        assert isinstance(shared["cube"], SharedCube)
+        assert shared["n"] == 3 and shared["label"] == "x"
+        assert created == [shared["cube"]]
+        # Re-sharing an already shared parameter set creates nothing new.
+        again, created_again = share_cube_params(shared)
+        assert again["cube"] is shared["cube"]
+        assert created_again == []
+    finally:
+        for cube in created:
+            cube.close()

@@ -1,6 +1,5 @@
 """Tests for the ASCII figure rendering and the experiment runners."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.figures import (efficiency_bar_chart, figure4_chart,

@@ -1,0 +1,156 @@
+"""Integration: the process backend on the full fusion application.
+
+The contract is the same as for the other backends -- the composite must be
+*bit-identical* to the sequential reference -- plus the process-specific
+guarantees: measured (not modelled) per-phase timings, crash detection of
+real worker processes, and regeneration of killed workers as new processes.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from _process_utils import fast_backend
+from repro.config import FusionConfig, PartitionConfig, ResilienceConfig
+from repro.core.distributed import MANAGER_NAME, DistributedPCT
+from repro.core.pipeline import SpectralScreeningPCT
+from repro.core.resilient import ResilientPCT
+
+
+def make_config(workers=2, subcubes=4):
+    return FusionConfig(partition=PartitionConfig(workers=workers, subcubes=subcubes))
+
+
+def test_matches_sequential_reference_exactly(tiny_cube):
+    config = make_config(workers=2, subcubes=4)
+    sequential = SpectralScreeningPCT(config).fuse(tiny_cube)
+    outcome = DistributedPCT(config, backend=fast_backend()).fuse(tiny_cube)
+    np.testing.assert_array_equal(outcome.result.composite, sequential.composite)
+    np.testing.assert_array_equal(outcome.result.components, sequential.components)
+    assert outcome.result.unique_set_size == sequential.unique_set_size
+
+
+@pytest.mark.slow
+def test_matches_every_other_backend(small_cube):
+    config = make_config(workers=3, subcubes=6)
+    sequential = SpectralScreeningPCT(config).fuse(small_cube)
+    for backend in ("sim", "local", fast_backend()):
+        outcome = DistributedPCT(config, backend=backend).fuse(small_cube)
+        np.testing.assert_array_equal(outcome.result.composite, sequential.composite)
+        np.testing.assert_array_equal(outcome.result.components, sequential.components)
+
+
+def test_measured_metrics_are_wall_clock(tiny_cube):
+    config = make_config(workers=2, subcubes=4)
+    outcome = DistributedPCT(config, backend=fast_backend()).fuse(tiny_cube)
+    metrics = outcome.metrics
+    assert metrics.backend == "process"
+    assert metrics.workers == 2
+    assert metrics.elapsed_seconds > 0
+    # Measured compute phases of the distributed algorithm are all present.
+    for phase in ("screening", "covariance", "eigendecomposition", "transform"):
+        assert metrics.phase_seconds.get(phase, 0.0) > 0.0
+    assert metrics.messages > 0
+    assert metrics.bytes_sent > 0
+
+
+@pytest.mark.slow
+def test_hard_process_death_is_detected_and_survivable(small_cube):
+    # A worker SIGKILLed behind the backend's back (indistinguishable from a
+    # segfault or an OOM kill) must be detected by the parent's liveness
+    # sweep and recorded as crashed, while the manager's timeout-driven
+    # reassignment lets the run complete with a bit-identical composite.
+    import os
+    import signal
+
+    config = make_config(workers=2, subcubes=8)
+    sequential = SpectralScreeningPCT(config).fuse(small_cube)
+    engine = DistributedPCT(config, backend="process", reassign_timeout=1.0)
+    backend = fast_backend(crash_policy="record", shutdown_grace=0.5)
+    app = engine.build_application(small_cube)
+
+    def killer():
+        while not backend.live_replicas("worker.0"):
+            time.sleep(0.01)
+        time.sleep(0.05)  # early in phase 1, long before the run can finish
+        process = backend._tasks["worker.0#0"].process
+        try:
+            if process is not None and process.pid is not None:
+                os.kill(process.pid, signal.SIGKILL)
+        except ProcessLookupError:  # pragma: no cover - lost the race
+            pass
+
+    threading.Thread(target=killer, daemon=True).start()
+    run = backend.run(app, until_thread=MANAGER_NAME)
+
+    assert run.outcomes["worker.0#0"].status == "crashed"
+    assert "died without reporting" in run.outcomes["worker.0#0"].error
+    result = run.return_of(MANAGER_NAME)
+    np.testing.assert_array_equal(result.composite, sequential.composite)
+
+
+@pytest.mark.slow
+def test_killed_worker_is_regenerated_and_parity_holds(small_cube):
+    config = make_config(workers=2, subcubes=8)
+    sequential = SpectralScreeningPCT(config).fuse(small_cube)
+    engine = DistributedPCT(config, backend="process")
+    backend = fast_backend(crash_policy="record")
+    app = engine.build_application(small_cube)
+
+    regenerated = []
+
+    def on_death(pid, logical, reason):
+        if logical.startswith("worker") and reason in ("killed", "crashed") \
+                and len(regenerated) < 2:
+            new_pid = backend.spawn_thread(
+                app.spec(logical), replica=len(regenerated) + 1,
+                restored=backend.checkpoint_of(logical),
+                incarnation=len(regenerated) + 1)
+            regenerated.append(new_pid)
+
+    backend.subscribe_thread_death(on_death)
+
+    def killer():
+        while not backend.live_replicas("worker.0"):
+            time.sleep(0.005)
+        time.sleep(0.02)  # early in phase 1 so the kill precedes completion
+        backend.kill_thread("worker.0#0")
+
+    threading.Thread(target=killer, daemon=True).start()
+    run = backend.run(app, until_thread=MANAGER_NAME)
+
+    result = run.return_of(MANAGER_NAME)
+    np.testing.assert_array_equal(result.composite, sequential.composite)
+    assert run.metrics.failures_injected == 1
+    assert run.metrics.replicas_regenerated == 1
+    assert regenerated and regenerated[0].startswith("worker.0#")
+
+
+@pytest.mark.slow
+def test_resilient_pct_on_process_backend(tiny_cube):
+    config = make_config(workers=2, subcubes=4).with_resilience(
+        ResilienceConfig(replication_level=2))
+    sequential = SpectralScreeningPCT(config).fuse(tiny_cube)
+    outcome = ResilientPCT(config, backend="process").fuse(tiny_cube)
+    np.testing.assert_array_equal(outcome.result.composite, sequential.composite)
+    assert outcome.metrics.replication_level == 2
+    assert outcome.result.metadata["mode"] == "resilient"
+
+
+@pytest.mark.slow
+def test_cli_fuse_and_sweep_with_process_backend(tmp_path, capsys):
+    from repro.cli import main
+
+    cube_path = tmp_path / "scene.npz"
+    assert main(["generate", "--bands", "16", "--rows", "32", "--cols", "32",
+                 "--seed", "3", "--out", str(cube_path)]) == 0
+    assert main(["fuse", str(cube_path), "--mode", "distributed",
+                 "--backend", "process", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "wall_seconds" in out
+    assert main(["sweep", "--workers", "1", "2", "--backend", "process",
+                 "--scale", "0.15", "--bands", "24"]) == 0
+    out = capsys.readouterr().out
+    assert "Measured wall-clock speed-up" in out

@@ -6,8 +6,6 @@ image through attacks and failures, paying for it with replication plus a
 modest protocol overhead.
 """
 
-import dataclasses
-
 import numpy as np
 import pytest
 

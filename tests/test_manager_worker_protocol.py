@@ -7,15 +7,13 @@ order -- independently of any scheduling, which is what makes the replication
 and regeneration semantics of the runtime safe to reason about.
 """
 
-import numpy as np
 import pytest
 
 from repro.config import FusionConfig, PartitionConfig, ScreeningConfig
 from repro.core.manager import manager_program
-from repro.core.messages import (PHASE_COVARIANCE, PHASE_SCREEN,
-                                 PHASE_TRANSFORM, PORT_HELLO, PORT_RESULT,
-                                 PORT_TASK, StopWork, TaskAssignment,
-                                 TaskResult, WorkerHello)
+from repro.core.messages import (PHASE_COVARIANCE, PHASE_SCREEN, PORT_HELLO,
+                                 PORT_RESULT, PORT_TASK, StopWork,
+                                 TaskAssignment, TaskResult, WorkerHello)
 from repro.core.pipeline import FusionResult
 from repro.core.worker import worker_program
 from repro.data.hydice import HydiceConfig, HydiceGenerator

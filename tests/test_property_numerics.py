@@ -8,7 +8,6 @@ is bounded and shift/scale consistent.
 """
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays

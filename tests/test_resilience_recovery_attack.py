@@ -6,7 +6,7 @@ interaction) can be asserted without a full simulation; the end-to-end
 behaviour on the real backends is covered by the integration tests.
 """
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Unit tests for message envelopes and payload size accounting."""
 
 import numpy as np
-import pytest
 
 from repro.scp.serialization import (ENVELOPE_OVERHEAD_BYTES, Envelope,
                                      payload_nbytes)

@@ -10,7 +10,7 @@ from repro.scp.effects import (Checkpoint, Compute, GetTime, Probe, Recv, Send,
 from repro.scp.errors import (DeadlockError, ReceiveTimeout, SCPError,
                               ThreadCrashedError)
 from repro.scp.runtime import Application
-from repro.scp.sim_backend import ProtocolConfig, SimBackend, TaskStatus
+from repro.scp.sim_backend import ProtocolConfig, SimBackend
 
 
 def make_cluster(nodes=3, flops=1e6):

@@ -7,9 +7,9 @@ from repro.core.steps.statistics import (covariance_combine_flops,
                                          covariance_matrix, covariance_sum,
                                          covariance_sum_flops, mean_flops,
                                          mean_vector, partition_pixel_matrix)
-from repro.core.steps.transform import (PCTBasis, eigendecomposition_flops,
-                                        project, project_cube_block,
-                                        projection_flops, transformation_matrix)
+from repro.core.steps.transform import (eigendecomposition_flops, project,
+                                        project_cube_block, projection_flops,
+                                        transformation_matrix)
 
 
 def random_pixels(n=200, bands=12, seed=0):
