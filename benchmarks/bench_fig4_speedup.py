@@ -19,7 +19,7 @@ import pytest
 
 from _bench_utils import fusion_config, record_report
 from repro.config import PAPER_SETUP
-from repro.core.distributed import DistributedPCT
+from repro import fuse
 from repro.experiments import run_figure4
 
 #: Fixed decomposition used for every processor count (the paper's observed
@@ -39,7 +39,7 @@ def test_fig4_speedup_with_and_without_resiliency(benchmark, figure4_cube, figur
     # Register a representative single point with pytest-benchmark (the sweep
     # itself is produced once by the module fixture).
     config = fusion_config(PAPER_SETUP.figure4_processors[-1], FIGURE4_SUBCUBES)
-    benchmark.pedantic(lambda: DistributedPCT(config).fuse(figure4_cube),
+    benchmark.pedantic(lambda: fuse(figure4_cube, engine="distributed", config=config),
                        rounds=1, iterations=1)
 
     record_report("Figure 4 - speed-up with and without resiliency", result.report())

@@ -15,7 +15,7 @@ import pytest
 
 from _bench_utils import fusion_config, record_report
 from repro.config import PAPER_SETUP
-from repro.core.distributed import DistributedPCT
+from repro import fuse
 from repro.experiments import run_figure5
 
 #: Sub-cube counts swept to expose the tail-off past the paper's ~32 sub-cubes.
@@ -32,7 +32,7 @@ def test_fig5_granularity_control(benchmark, figure5_cube, figure5_result):
 
     # Representative single point for pytest-benchmark.
     config = fusion_config(16, 32)
-    benchmark.pedantic(lambda: DistributedPCT(config).fuse(figure5_cube),
+    benchmark.pedantic(lambda: fuse(figure5_cube, engine="distributed", config=config),
                        rounds=1, iterations=1)
 
     record_report("Figure 5 - granularity control", result.report())
@@ -55,7 +55,8 @@ def test_fig5_tail_off_past_32_subcubes(benchmark, figure5_cube, figure5_result)
     times = figure5_result.tail_off
     # Representative point at the finest decomposition (runs under --benchmark-only).
     benchmark.pedantic(
-        lambda: DistributedPCT(fusion_config(16, max(TAIL_OFF_SUBCUBES))).fuse(figure5_cube),
+        lambda: fuse(figure5_cube, engine="distributed",
+                     config=fusion_config(16, max(TAIL_OFF_SUBCUBES))),
         rounds=1, iterations=1)
 
     best_subcubes = figure5_result.best_subcubes()

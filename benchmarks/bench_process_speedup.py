@@ -3,7 +3,8 @@
 Every other benchmark in this harness regenerates a figure from *virtual*
 time on the simulated cluster.  This one measures the real thing: the
 sequential :class:`~repro.core.pipeline.SpectralScreeningPCT` is timed on the
-host, then ``DistributedPCT(backend="process")`` runs the identical problem
+host, then ``repro.fuse(..., engine="distributed", backend="process")`` runs
+the identical problem
 on real OS processes, and the measured wall-clock speed-up curve is printed.
 
 Because measured speed-up is a property of the host, the >1.5x assertion is
@@ -98,17 +99,13 @@ def test_process_speedup_vs_sequential(benchmark):
     assert all(point.elapsed_seconds > 0 for point in result.curve.points)
 
     # Register one representative measured point with pytest-benchmark.
-    from repro.config import FusionConfig, PartitionConfig
-    from repro.core.distributed import DistributedPCT
-    from repro.experiments.measured import default_start_method
-    from repro.scp.process_backend import ProcessBackend
+    from repro import fuse
+    from repro.scp.pool import default_start_method
 
     cube = _quick_cube()
-    config = FusionConfig(partition=PartitionConfig(workers=2, subcubes=4))
     benchmark.pedantic(
-        lambda: DistributedPCT(
-            config,
-            backend=ProcessBackend(start_method=default_start_method())).fuse(cube),
+        lambda: fuse(cube, engine="distributed",
+                     backend=f"process:{default_start_method()}:2", subcubes=4),
         rounds=1, iterations=1)
 
 

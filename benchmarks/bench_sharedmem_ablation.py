@@ -13,7 +13,7 @@ import pytest
 
 from _bench_utils import fusion_config, record_report
 from repro.cluster.presets import shared_memory_smp
-from repro.core.distributed import DistributedPCT
+from repro import fuse
 from repro.experiments import run_shared_memory_comparison
 
 PROCESSORS = (1, 2, 4, 8)
@@ -32,8 +32,8 @@ def test_sharedmem_within_five_percent_of_linear(benchmark, figure5_cube,
 
     config = fusion_config(PROCESSORS[-1], SUBCUBES)
     benchmark.pedantic(
-        lambda: DistributedPCT(config,
-                               cluster=shared_memory_smp(PROCESSORS[-1])).fuse(figure5_cube),
+        lambda: fuse(figure5_cube, engine="distributed", config=config,
+                     cluster=shared_memory_smp(PROCESSORS[-1])),
         rounds=1, iterations=1)
 
     record_report("Section 4 - shared-memory multiprocessor ablation", result.report())

@@ -13,7 +13,7 @@ import pytest
 
 from _bench_utils import fusion_config, record_report, scaled_extent
 from repro.analysis.report import format_table
-from repro.core.distributed import DistributedPCT
+from repro import fuse
 from repro.data.hydice import HydiceConfig, HydiceGenerator
 
 BAND_SWEEP = (52, 105, 210, 420)
@@ -27,7 +27,7 @@ def run_band_sweep():
         config = HydiceConfig(bands=bands, rows=scaled_extent(208), cols=scaled_extent(208),
                               seed=17)
         cube = HydiceGenerator(config).generate()
-        outcome = DistributedPCT(fusion_config(WORKERS, 32)).fuse(cube)
+        outcome = fuse(cube, engine="distributed", config=fusion_config(WORKERS, 32))
         metrics = outcome.metrics
         eigen_seconds = metrics.phase_seconds.get("eigendecomposition", 0.0)
         fraction_of_elapsed = eigen_seconds / metrics.elapsed_seconds

@@ -25,11 +25,11 @@ import argparse
 
 import numpy as np
 
+import repro
 from repro import FusionConfig, HydiceGenerator
 from repro.analysis.quality import best_band_contrast, target_contrast
 from repro.analysis.report import format_table
 from repro.baselines.plain_pct import PlainPCT
-from repro.core.pipeline import SpectralScreeningPCT
 from repro.data.hydice import HydiceConfig
 
 
@@ -71,7 +71,11 @@ def main() -> int:
     parser.add_argument("--size", type=int, default=128)
     parser.add_argument("--bands", type=int, default=96)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the problem so the example finishes in seconds (CI)")
     args = parser.parse_args()
+    if args.quick:
+        args.size, args.bands = 48, 24
 
     print("Generating a foliated scene with camouflaged and open vehicles ...")
     cube = HydiceGenerator(HydiceConfig(bands=args.bands, rows=args.size, cols=args.size,
@@ -84,7 +88,7 @@ def main() -> int:
 
     config = FusionConfig()
     print("Fusing with the spectral-screening PCT and with plain PCT ...")
-    screened = SpectralScreeningPCT(config).fuse(cube)
+    screened = repro.fuse(cube, config=config).result
     plain = PlainPCT(config).fuse(cube)
     best_band_index, best_band_value = best_band_contrast(cube, camo, stride=2)
 

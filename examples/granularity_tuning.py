@@ -19,7 +19,8 @@ Run with::
 
 import argparse
 
-from repro import DistributedPCT, FusionConfig, HydiceGenerator, PartitionConfig
+import repro
+from repro import FusionConfig, HydiceGenerator, PartitionConfig
 from repro.analysis.report import format_table
 from repro.data.hydice import HydiceConfig
 from repro.resilience.resource import ResourceManager
@@ -32,7 +33,12 @@ def main() -> int:
     parser.add_argument("--bands", type=int, default=64)
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--multipliers", type=int, nargs="+", default=[1, 2, 3, 4, 6])
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the problem so the example finishes in seconds (CI)")
     args = parser.parse_args()
+    if args.quick:
+        args.workers, args.size, args.bands = 4, 64, 24
+        args.multipliers = [1, 2, 3]
 
     print("Generating the collection ...")
     cube = HydiceGenerator(HydiceConfig(bands=args.bands, rows=args.size, cols=args.size,
@@ -46,7 +52,7 @@ def main() -> int:
             continue
         config = FusionConfig(partition=PartitionConfig(workers=args.workers,
                                                         subcubes=subcubes))
-        outcome = DistributedPCT(config).fuse(cube)
+        outcome = repro.fuse(cube, engine="distributed", config=config)
         metrics = outcome.metrics
         rows.append([multiplier, subcubes, outcome.elapsed_seconds,
                      metrics.messages, metrics.bytes_sent / 1e6,

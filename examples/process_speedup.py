@@ -22,8 +22,8 @@ import argparse
 
 import numpy as np
 
-from repro import FusionConfig, HydiceGenerator, PartitionConfig, SpectralScreeningPCT
-from repro.core.distributed import DistributedPCT
+import repro
+from repro import FusionConfig, HydiceGenerator, PartitionConfig
 from repro.data.hydice import HydiceConfig
 from repro.experiments.measured import available_cpus, run_measured_speedup
 
@@ -36,7 +36,11 @@ def main() -> int:
                         help="spatial extent in pixels (the paper uses 320)")
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
     parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the problem so the example finishes in seconds (CI)")
     args = parser.parse_args()
+    if args.quick:
+        args.bands, args.size, args.workers = 32, 64, [1, 2]
 
     print(f"Host exposes {available_cpus()} usable CPU core(s).")
     print("Generating the synthetic HYDICE collection ...")
@@ -53,9 +57,9 @@ def main() -> int:
     workers = max(args.workers)
     config = FusionConfig(partition=PartitionConfig(workers=workers,
                                                     subcubes=2 * max(args.workers)))
-    sequential = SpectralScreeningPCT(config).fuse(cube)
-    outcome = DistributedPCT(config, backend="process").fuse(cube)
-    np.testing.assert_array_equal(outcome.result.composite, sequential.composite)
+    sequential = repro.fuse(cube, config=config)
+    parallel = repro.fuse(cube, engine="distributed", backend="process", config=config)
+    np.testing.assert_array_equal(parallel.composite, sequential.composite)
     print(f"\nComposite from {workers} worker processes is bit-identical "
           f"to the sequential reference.")
     return 0

@@ -19,7 +19,8 @@ import argparse
 
 import numpy as np
 
-from repro import FusionConfig, HydiceGenerator, SpectralScreeningPCT
+import repro
+from repro import HydiceGenerator
 from repro.analysis.quality import enhancement_report
 from repro.analysis.report import dict_table
 from repro.data.hydice import HydiceConfig
@@ -33,7 +34,11 @@ def main() -> int:
                         help="spatial extent in pixels (the paper uses 320)")
     parser.add_argument("--seed", type=int, default=2026)
     parser.add_argument("--out", default=None, help="optional .npz to store the composite")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the problem so the example finishes in seconds (CI)")
     args = parser.parse_args()
+    if args.quick:
+        args.bands, args.size = 16, 48
 
     # 1. Synthetic HYDICE collection: a foliated scene with a road, open
     #    vehicles and one camouflaged vehicle, observed over 400-2500 nm.
@@ -49,10 +54,11 @@ def main() -> int:
         print(f"  raw frame near {wavelength:6.0f} nm -> band {index:3d}, "
               f"mean={frame.mean():8.1f}, std={frame.std():7.1f}")
 
-    # 3. The spectral-screening PCT pipeline (all eight steps of Section 3).
-    print("\nFusing with the sequential spectral-screening PCT ...")
-    engine = SpectralScreeningPCT(FusionConfig())
-    result = engine.fuse(cube)
+    # 3. The spectral-screening PCT pipeline (all eight steps of Section 3),
+    #    through the library's one front door.
+    print("\nFusing with repro.fuse (sequential engine) ...")
+    report = repro.fuse(cube)
+    result = report.result
 
     # 4. What came out.
     summary = {

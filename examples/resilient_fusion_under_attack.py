@@ -19,8 +19,9 @@ import argparse
 
 import numpy as np
 
-from repro import (DistributedPCT, FusionConfig, HydiceGenerator,
-                   PartitionConfig, ResilienceConfig, ResilientPCT)
+import repro
+from repro import (FusionConfig, HydiceGenerator, PartitionConfig,
+                   ResilienceConfig)
 from repro.analysis.report import dict_table
 from repro.data.hydice import HydiceConfig
 from repro.resilience.attack import AttackScenario
@@ -44,7 +45,11 @@ def main() -> int:
     parser.add_argument("--size", type=int, default=96)
     parser.add_argument("--bands", type=int, default=64)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the problem so the example finishes in seconds (CI)")
     args = parser.parse_args()
+    if args.quick:
+        args.workers, args.size, args.bands = 4, 48, 24
 
     print("Generating the hyper-spectral collection ...")
     cube = HydiceGenerator(HydiceConfig(bands=args.bands, rows=args.size, cols=args.size,
@@ -53,7 +58,8 @@ def main() -> int:
     partition = PartitionConfig(workers=args.workers, subcubes=args.workers * 2)
 
     print(f"Reference run: {args.workers} workers, no resiliency, no attack ...")
-    plain = DistributedPCT(FusionConfig(partition=partition)).fuse(cube)
+    plain = repro.fuse(cube, engine="distributed",
+                       config=FusionConfig(partition=partition))
     print(f"  virtual time {plain.elapsed_seconds:8.2f} s")
 
     resilience = ResilienceConfig(replication_level=2, heartbeat_period=0.1,
@@ -62,9 +68,9 @@ def main() -> int:
     attack = build_attack(args.workers)
 
     print(f"Resilient run under attack ({len(attack)} scheduled faults) ...")
-    resilient = ResilientPCT(config, attack=attack).fuse(cube)
+    resilient = repro.fuse(cube, engine="resilient", config=config, attack=attack)
 
-    report = resilient.resilience_report
+    report = resilient.resilience
     summary = {
         "plain distributed time (virtual s)": f"{plain.elapsed_seconds:.2f}",
         "resilient time under attack (virtual s)": f"{resilient.elapsed_seconds:.2f}",

@@ -1,47 +1,89 @@
 """Resilient Image Fusion: reproduction of Achalakul, Lee & Taylor (ICPP 2000).
 
-The library has four layers (see DESIGN.md for the full inventory):
+Quick start -- everything goes through one facade::
+
+    import repro
+
+    cube = repro.HydiceGenerator.quicklook_cube()
+    report = repro.fuse(cube)                                   # sequential
+    report = repro.fuse(cube, engine="distributed", workers=8)  # simulated LAN
+    report = repro.fuse(cube, engine="distributed", backend="process:4")
+    print(report.composite.shape, report.unique_set_size, report.elapsed_seconds)
+
+For repeated workloads, a session keeps the worker-process pool and the
+shared-memory cube placement alive between calls::
+
+    with repro.open_session(backend="process", workers=4) as session:
+        reports = session.fuse_many(cubes)
+
+Engines (``repro.engine_names()``) orchestrate the algorithm -- sequential
+reference, manager/worker distribution, distribution plus computational
+resiliency -- and backends (``repro.backend_names()``) decide where the
+threads execute: a discrete-event simulated cluster (``"sim"``, virtual
+time), host threads (``"local"``) or real processes with shared-memory data
+placement (``"process"``, measured wall-clock speed-up).  New engines and
+backends register with :func:`repro.register_engine` /
+:func:`repro.register_backend` and become available everywhere, CLI
+included.
+
+The library layers underneath (see DESIGN.md for the full inventory):
 
 * :mod:`repro.data`        -- synthetic HYDICE-like hyper-spectral scenes,
-* :mod:`repro.scp`         -- the SCPlib-like message-passing runtime with a
-  real-thread backend, a real-process backend (shared-memory data placement,
-  measured wall-clock speed-up) and a discrete-event simulated-cluster
-  backend,
-* :mod:`repro.resilience`  -- computational resiliency: replication,
-  detection, regeneration, reconfiguration, attacks, camouflage,
-* :mod:`repro.core`        -- the spectral-screening PCT fusion algorithm in
-  sequential, distributed and resilient forms.
+* :mod:`repro.scp`         -- the SCPlib-like message-passing runtime and
+  its backends, plus the persistent worker pool (:mod:`repro.scp.pool`),
+* :mod:`repro.resilience`  -- replication, detection, regeneration,
+  reconfiguration, attacks, camouflage,
+* :mod:`repro.core`        -- the spectral-screening PCT fusion algorithm,
+* :mod:`repro.api`         -- the unified facade, registries and sessions.
 
-Quick start::
-
-    from repro import HydiceGenerator, SpectralScreeningPCT
-
-    cube = HydiceGenerator.quicklook_cube()
-    result = SpectralScreeningPCT().fuse(cube)
-    print(result.composite.shape, result.unique_set_size)
+The constructor-style entry points ``DistributedPCT`` and ``ResilientPCT``
+still work but are deprecated shims over :func:`repro.fuse`.
 """
 
+from .api import (BackendContext, BackendSpec, FusionReport, FusionRequest,
+                  FusionSession, backend_names, create_backend,
+                  describe_backends, engine_names, fuse, get_engine,
+                  open_session, register_backend, register_engine, run_request)
 from .config import (FusionConfig, PAPER_SETUP, PaperSetup, PartitionConfig,
                      ResilienceConfig, ScreeningConfig)
 from .core import (DistributedPCT, DistributedRunOutcome, FusionResult,
                    ResilientPCT, ResilientRunOutcome, SpectralScreeningPCT)
 from .data import HydiceConfig, HydiceGenerator, HyperspectralCube, generate_cube
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    # Unified fusion API
+    "fuse",
+    "open_session",
+    "run_request",
+    "FusionRequest",
+    "FusionReport",
+    "FusionSession",
+    "BackendContext",
+    "BackendSpec",
+    "backend_names",
+    "create_backend",
+    "describe_backends",
+    "engine_names",
+    "get_engine",
+    "register_backend",
+    "register_engine",
+    # Configuration
     "FusionConfig",
     "PAPER_SETUP",
     "PaperSetup",
     "PartitionConfig",
     "ResilienceConfig",
     "ScreeningConfig",
+    # Engines (constructor style; DistributedPCT/ResilientPCT are deprecated)
     "DistributedPCT",
     "DistributedRunOutcome",
     "FusionResult",
     "ResilientPCT",
     "ResilientRunOutcome",
     "SpectralScreeningPCT",
+    # Data
     "HydiceConfig",
     "HydiceGenerator",
     "HyperspectralCube",

@@ -1,0 +1,43 @@
+"""Unified fusion API: one facade, pluggable engines and backends.
+
+This package is the stable surface of the library:
+
+* :func:`repro.fuse` -- one-shot fusion of a cube on any registered engine
+  (``sequential`` / ``distributed`` / ``resilient``) and backend (``sim`` /
+  ``local`` / ``process``),
+* :func:`repro.open_session` -- a context-managed session that keeps the
+  worker-process pool and shared-memory cube placement alive across
+  repeated :meth:`~repro.api.session.FusionSession.fuse` calls,
+* :func:`register_engine` / :func:`register_backend` -- extension points a
+  new orchestration strategy or execution substrate plugs into, replacing
+  the string ``if/elif`` dispatch that used to be threaded through the CLI
+  and the experiment harness.
+
+See the package README for the engine x backend support matrix.
+"""
+
+from ..scp.registry import (BackendContext, BackendSpec, backend_names,
+                            create_backend, describe_backends, register_backend)
+from .engines import (FusionEngine, engine_names, get_engine, register_engine)
+from .facade import fuse, run_request
+from .request import FusionReport, FusionRequest
+from .session import FusionSession, open_session
+
+__all__ = [
+    "BackendContext",
+    "BackendSpec",
+    "backend_names",
+    "create_backend",
+    "describe_backends",
+    "register_backend",
+    "FusionEngine",
+    "engine_names",
+    "get_engine",
+    "register_engine",
+    "fuse",
+    "run_request",
+    "FusionReport",
+    "FusionRequest",
+    "FusionSession",
+    "open_session",
+]

@@ -1,0 +1,197 @@
+"""Engine registry: named fusion engines behind one protocol.
+
+An *engine* decides how the eight algorithm steps are orchestrated
+(sequentially in-process, manager/worker on an SCP backend, manager/worker
+with computational resiliency); a *backend* decides where the orchestrated
+threads execute (simulated cluster, host threads, real processes).  Engines
+are registered by name with :func:`register_engine` and looked up with
+:func:`get_engine`; :func:`repro.fuse` and :class:`repro.api.session.
+FusionSession` drive everything through the common :class:`FusionEngine`
+protocol, so adding an engine is one decorated class -- no CLI or
+experiment-harness surgery.
+
+Built-in engines
+----------------
+==========  ==============================================  ================
+name        orchestration                                   backends
+==========  ==============================================  ================
+sequential  single-process reference pipeline (Section 3)   -- (inline)
+distributed manager/worker on the SCP runtime (Section 4)   sim, local, process
+resilient   distributed + replication/detection/recovery    sim, local, process
+==========  ==============================================  ================
+
+All three produce bit-identical composites for the same request -- that is
+the paper's correctness claim, and the cross-engine parity tests assert it
+through this registry.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Protocol, Type, runtime_checkable
+
+from ..cluster.metrics import RunMetrics
+from ..core.distributed import _DistributedPCT
+from ..core.pipeline import SpectralScreeningPCT
+from ..core.resilient import _ResilientPCT
+from ..scp.runtime import Backend
+from .request import FusionReport, FusionRequest
+
+
+@runtime_checkable
+class FusionEngine(Protocol):
+    """What every registered engine implements."""
+
+    #: Registered name (filled in by :func:`register_engine`).
+    name: str
+    #: Whether the engine executes on an SCP backend (``False`` = inline).
+    uses_backend: bool
+
+    def run(self, request: FusionRequest,
+            backend: Optional[Backend] = None) -> FusionReport:
+        """Execute ``request`` and return the unified report.
+
+        ``backend`` optionally injects an already-built backend instance
+        (sessions use this to hand engines their pooled backend); when it is
+        ``None`` the engine resolves ``request.backend`` via the registry.
+        """
+        ...
+
+
+_ENGINES: Dict[str, Type] = {}
+
+
+def register_engine(name: str):
+    """Class decorator registering a :class:`FusionEngine` under ``name``."""
+    def decorator(cls):
+        if name in _ENGINES:
+            raise ValueError(f"engine {name!r} is already registered")
+        cls.name = name
+        _ENGINES[name] = cls
+        return cls
+    return decorator
+
+
+def engine_names() -> List[str]:
+    """Sorted names of every registered engine."""
+    return sorted(_ENGINES)
+
+
+def get_engine(name: str) -> FusionEngine:
+    """Instantiate the engine registered under ``name``.
+
+    Raises a :class:`ValueError` listing the registered names when ``name``
+    is unknown, so a typo in ``repro.fuse(cube, engine="...")`` is a
+    one-line fix.
+    """
+    try:
+        cls = _ENGINES[name]
+    except (KeyError, TypeError):
+        raise ValueError(f"unknown engine {name!r}; registered engines: "
+                         f"{', '.join(engine_names())}") from None
+    return cls()
+
+
+def _reject_resilience_options(request: FusionRequest, engine: str) -> None:
+    """Actionable error when resiliency knobs reach a non-resilient engine."""
+    for option in ("replication", "attack", "camouflage_period"):
+        if getattr(request, option) is not None:
+            raise ValueError(
+                f"engine {engine!r} does not support the {option!r} option; "
+                f"use engine='resilient' for replication, attacks and camouflage")
+
+
+@register_engine("sequential")
+class SequentialEngine:
+    """The single-process reference pipeline, timed on the host.
+
+    It always executes inline, so a request that names a backend is a
+    mistake (the caller believes they selected parallel execution) and is
+    rejected with a pointer at the backend-using engines.
+    """
+
+    uses_backend = False
+
+    def run(self, request: FusionRequest,
+            backend: Optional[Backend] = None) -> FusionReport:
+        _reject_resilience_options(request, self.name)
+        if request.backend is not None or backend is not None:
+            raise ValueError(
+                "engine 'sequential' executes inline and accepts no backend; "
+                "use engine='distributed' or engine='resilient' to run on a "
+                "registered backend, or omit backend=")
+        config = request.resolved_config()
+        pipeline = SpectralScreeningPCT(config, n_components=request.n_components,
+                                        full_projection=request.full_projection)
+        start = time.perf_counter()
+        result = pipeline.fuse(request.cube)
+        elapsed = time.perf_counter() - start
+        metrics = RunMetrics(elapsed_seconds=elapsed, backend="sequential",
+                             workers=1,
+                             subcubes=config.partition.effective_subcubes)
+        return FusionReport(result=result, metrics=metrics,
+                            engine=self.name, backend="inline")
+
+
+@register_engine("distributed")
+class DistributedEngine:
+    """Manager/worker fusion on any registered SCP backend."""
+
+    uses_backend = True
+
+    def run(self, request: FusionRequest,
+            backend: Optional[Backend] = None) -> FusionReport:
+        _reject_resilience_options(request, self.name)
+        impl = _DistributedPCT(
+            request.resolved_config(), cluster=request.cluster,
+            backend=backend if backend is not None else request.backend_choice(),
+            n_components=request.n_components,
+            full_projection=request.full_projection,
+            prefetch=request.prefetch,
+            reassign_timeout=request.reassign_timeout,
+            protocol=request.protocol,
+            share_replica_results=request.share_replica_results)
+        outcome = impl.fuse(request.cube)
+        label = backend.kind if backend is not None else request.backend_label()
+        return FusionReport(result=outcome.result, metrics=outcome.metrics,
+                            engine=self.name, backend=label, run=outcome.run)
+
+
+@register_engine("resilient")
+class ResilientEngine:
+    """Distributed fusion with computational resiliency armed.
+
+    ``request.replication`` overrides the replication level (paper default
+    2); ``request.attack`` and ``request.camouflage_period`` layer scripted
+    failures and camouflage migration on top without touching the
+    algorithm, exactly as in the paper's Section 4 experiments.
+    """
+
+    uses_backend = True
+
+    def run(self, request: FusionRequest,
+            backend: Optional[Backend] = None) -> FusionReport:
+        if request.protocol is not None:
+            raise ValueError(
+                "engine 'resilient' derives its protocol cost model from the "
+                "resilience configuration; set config.resilience instead of "
+                "passing protocol=...")
+        impl = _ResilientPCT(
+            request.resolved_config(), cluster=request.cluster,
+            backend=backend if backend is not None else request.backend_choice(),
+            n_components=request.n_components,
+            full_projection=request.full_projection,
+            prefetch=request.prefetch,
+            reassign_timeout=request.reassign_timeout,
+            attack=request.attack,
+            camouflage_period=request.camouflage_period,
+            share_replica_results=request.share_replica_results)
+        outcome = impl.fuse(request.cube)
+        label = backend.kind if backend is not None else request.backend_label()
+        return FusionReport(result=outcome.result, metrics=outcome.metrics,
+                            engine=self.name, backend=label, run=outcome.run,
+                            resilience=outcome.resilience_report)
+
+
+__all__ = ["FusionEngine", "register_engine", "engine_names", "get_engine",
+           "SequentialEngine", "DistributedEngine", "ResilientEngine"]

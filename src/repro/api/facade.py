@@ -1,0 +1,85 @@
+"""`repro.fuse`: the one-shot front door of the library.
+
+Every engine x backend combination is reachable through this single
+function; the CLI, the experiments and the benchmarks are all thin layers
+over it.  For repeated workloads, :func:`repro.open_session` amortises the
+setup the one-shot path pays per call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..config import FusionConfig
+from ..data.cube import HyperspectralCube
+from ..scp.registry import BackendSpec
+from ..scp.runtime import Backend
+from .engines import get_engine
+from .request import FusionReport, FusionRequest
+
+
+def run_request(request: FusionRequest) -> FusionReport:
+    """Execute an already-built :class:`FusionRequest`."""
+    return get_engine(request.engine).run(request)
+
+
+def fuse(cube: HyperspectralCube, *,
+         engine: str = "sequential",
+         backend: Union[str, BackendSpec, Backend, None] = None,
+         workers: Optional[int] = None,
+         subcubes: Optional[int] = None,
+         config: Optional[FusionConfig] = None,
+         **options) -> FusionReport:
+    """Fuse ``cube`` into a colour composite with one call.
+
+    Parameters
+    ----------
+    cube:
+        The hyper-spectral cube to fuse.
+    engine:
+        Registered engine name: ``"sequential"`` (default, the in-process
+        reference), ``"distributed"`` or ``"resilient"``.
+        :func:`repro.engine_names` lists what is registered.
+    backend:
+        Backend spec for backend-using engines -- ``"sim"`` (default),
+        ``"local"``, ``"process"``, or a parameterised spec such as
+        ``"process:8"`` (worker-count hint), ``"process:fork"`` (start
+        method) or ``"sim:switched"`` (cluster preset).  Already-built
+        :class:`~repro.scp.runtime.Backend` instances are accepted too.
+        :func:`repro.backend_names` lists what is registered.
+    workers / subcubes:
+        Partition overrides (defaults: 4 workers, ``subcubes == workers``).
+    config:
+        Full :class:`~repro.config.FusionConfig` when the shorthand knobs
+        are not enough.
+    options:
+        Any further :class:`~repro.api.request.FusionRequest` field --
+        ``n_components``, ``prefetch``, ``cluster``, and for the resilient
+        engine ``replication``, ``attack``, ``camouflage_period``.
+
+    Returns
+    -------
+    FusionReport
+        Unified result: ``report.composite``, ``report.metrics``,
+        ``report.elapsed_seconds``, plus the raw run and resiliency report
+        where applicable.
+
+    Examples
+    --------
+    >>> report = repro.fuse(cube)                                   # sequential
+    >>> report = repro.fuse(cube, engine="distributed", workers=8)  # simulated
+    >>> report = repro.fuse(cube, engine="distributed", backend="process:4")
+    >>> report = repro.fuse(cube, engine="resilient", attack=scenario)
+    """
+    unknown = set(options) - set(FusionRequest.__dataclass_fields__)
+    if unknown:
+        valid = sorted(set(FusionRequest.__dataclass_fields__) - {"cube"})
+        raise ValueError(f"unknown fuse option(s) {sorted(unknown)}; "
+                         f"valid options: {', '.join(valid)}")
+    request = FusionRequest(cube=cube, engine=engine, backend=backend,
+                            workers=workers, subcubes=subcubes, config=config,
+                            **options)
+    return run_request(request)
+
+
+__all__ = ["fuse", "run_request"]

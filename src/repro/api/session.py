@@ -1,0 +1,246 @@
+"""Reusable fusion sessions: amortise setup across repeated workloads.
+
+A one-shot :func:`repro.fuse` on the process backend pays two setup costs on
+every call: the worker *processes* are spawned fresh (interpreter start-up),
+and the cube's samples are *copied* into a new shared-memory segment.  For a
+service fusing a stream of requests those costs dominate small runs.
+
+:class:`FusionSession` keeps both alive between calls:
+
+* a persistent :class:`~repro.scp.pool.ProcessPool` of worker processes that
+  successive runs borrow instead of spawning (see
+  :class:`~repro.scp.pool.PooledProcessBackend`), and
+* a :class:`~repro.data.shared.SharedCube` placement cache, so fusing the
+  same cube again -- a parameter sweep, a retry, a monitoring loop -- never
+  re-copies the samples.
+
+Usage::
+
+    with repro.open_session(backend="process", workers=4) as session:
+        for cube in stream:
+            report = session.fuse(cube)
+
+``benchmarks/bench_session_reuse.py`` measures the effect: five consecutive
+``session.fuse`` calls against five one-shot ``repro.fuse`` calls on the
+same cube.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Tuple
+
+from ..data.cube import HyperspectralCube
+from ..data.shared import SharedCube
+from ..scp.pool import PooledProcessBackend, ProcessPool
+from ..scp.registry import BackendSpec
+from ..scp.runtime import Backend
+from .engines import get_engine
+from .request import FusionReport, FusionRequest
+
+#: FusionRequest fields a per-call override may set.  ``engine`` and
+#: ``backend`` are pinned at session open -- they determine what the session
+#: keeps alive -- and ``cube`` is the positional argument of ``fuse``.
+_OVERRIDABLE = frozenset(
+    field for field in FusionRequest.__dataclass_fields__
+    if field not in ("cube", "engine", "backend"))
+
+
+class FusionSession:
+    """A fusion engine/backend pair with its expensive setup kept alive.
+
+    Parameters
+    ----------
+    engine:
+        Registered engine name; fixed for the session's lifetime.
+    backend:
+        Backend spec string or :class:`BackendSpec`.  ``None`` defaults to
+        ``"process"`` for backend-using engines (the backend whose setup a
+        session actually amortises) and inline execution for ``sequential``.
+    workers / subcubes / config / options:
+        Session-wide request defaults; any :class:`FusionRequest` field
+        except ``engine``/``backend`` can be overridden per
+        :meth:`fuse` call.
+    start_method:
+        Start method of the worker pool; defaults to the spec's variant
+        (``"process:fork"``) or the platform's cheapest safe method.
+    warm:
+        When True (default), the pool is pre-spawned at open time so the
+        first request does not pay the growth cost.
+    max_placements:
+        Bound on the shared-memory placement cache (least-recently-used
+        eviction).  Segments live in RAM-backed ``/dev/shm``, so an
+        unbounded cache over a stream of distinct cubes would exhaust it;
+        re-fusing an evicted cube simply re-places it.
+    """
+
+    DEFAULT_MAX_PLACEMENTS = 8
+
+    def __init__(self, *, engine: str = "distributed",
+                 backend: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 subcubes: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 warm: bool = True,
+                 max_placements: int = DEFAULT_MAX_PLACEMENTS,
+                 **options) -> None:
+        self._engine = get_engine(engine)  # fail fast on typos
+        if max_placements < 1:
+            raise ValueError("max_placements must be >= 1")
+        self._max_placements = max_placements
+        if backend is not None and not self._engine.uses_backend:
+            raise ValueError(
+                f"engine {engine!r} executes inline and accepts no backend; "
+                f"omit backend= or open the session on a backend-using engine")
+        unknown = set(options) - _OVERRIDABLE
+        if unknown:
+            raise ValueError(f"unknown session option(s) {sorted(unknown)}; "
+                             f"valid options: {sorted(_OVERRIDABLE)}")
+        self._defaults = dict(options)
+        self._defaults["workers"] = workers
+        self._defaults["subcubes"] = subcubes
+
+        if backend is None and self._engine.uses_backend:
+            backend = "process"
+        self._spec: Optional[BackendSpec] = (
+            BackendSpec.parse(backend) if backend is not None else None)
+
+        self._pool: Optional[ProcessPool] = None
+        if self._spec is not None and self._spec.name == "process":
+            self._pool = ProcessPool(
+                start_method=start_method or self._spec.variant or None)
+        self._placements: "OrderedDict[int, Tuple[HyperspectralCube, SharedCube]]" \
+            = OrderedDict()
+        self._closed = False
+        self._runs = 0
+        if warm and self._pool is not None:
+            self._pool.ensure(self._warm_target())
+
+    # --------------------------------------------------------------- queries
+    @property
+    def engine(self) -> str:
+        return self._engine.name
+
+    @property
+    def backend(self) -> str:
+        return str(self._spec) if self._spec is not None else "inline"
+
+    @property
+    def runs_completed(self) -> int:
+        return self._runs
+
+    @property
+    def spawned_processes(self) -> int:
+        """Worker processes spawned so far (flat across warmed-up calls)."""
+        return self._pool.spawned_processes if self._pool is not None else 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _warm_target(self) -> int:
+        """Replicas the configured run shape needs: workers x replication,
+        plus the manager."""
+        probe = FusionRequest(cube=None, engine=self.engine,  # type: ignore[arg-type]
+                              backend=self._spec, **self._defaults)
+        config = probe.resolved_config()
+        replication = 1
+        if self.engine == "resilient":
+            resilience = config.resilience
+            replication = resilience.replication_level if resilience is not None else 2
+        return config.partition.workers * replication + 1
+
+    # ------------------------------------------------------------------ fuse
+    def fuse(self, cube: HyperspectralCube, **overrides) -> FusionReport:
+        """Run one fusion on the session's engine/backend pair.
+
+        ``overrides`` accepts any :class:`FusionRequest` field except
+        ``engine`` and ``backend`` (those are what the session keeps warm;
+        open another session to change them).
+        """
+        self._check_open()
+        illegal = set(overrides) - _OVERRIDABLE
+        if illegal:
+            raise ValueError(f"cannot override {sorted(illegal)} per call; "
+                             f"open a new session instead")
+        merged = {**self._defaults, **overrides}
+        request = FusionRequest(cube=self._place(cube), engine=self.engine,
+                                backend=self._spec, **merged)
+        backend_instance: Optional[Backend] = None
+        if self._pool is not None:
+            backend_instance = PooledProcessBackend(self._pool)
+        report = self._engine.run(request, backend=backend_instance)
+        self._runs += 1
+        return report
+
+    def fuse_many(self, cubes: Iterable[HyperspectralCube],
+                  **overrides) -> List[FusionReport]:
+        """Fuse a batch of cubes back to back on the warm resources."""
+        return [self.fuse(cube, **overrides) for cube in cubes]
+
+    # -------------------------------------------------------------- placement
+    def _place(self, cube: HyperspectralCube) -> HyperspectralCube:
+        """Shared-memory placement with LRU caching (process backends only).
+
+        The cache is bounded by ``max_placements``: runs are serial, so an
+        evicted segment is guaranteed idle and can be released immediately.
+        """
+        if self._pool is None or isinstance(cube, SharedCube):
+            return cube
+        entry = self._placements.pop(id(cube), None)
+        if entry is not None and entry[0] is cube:
+            self._placements[id(cube)] = entry  # re-insert: most recent
+            return entry[1]
+        shared = SharedCube.from_cube(cube)
+        self._placements[id(cube)] = (cube, shared)
+        while len(self._placements) > self._max_placements:
+            _, (_, evicted) = self._placements.popitem(last=False)
+            evicted.close()
+        return shared
+
+    @property
+    def cubes_placed(self) -> int:
+        """Distinct cubes currently held in the shared-memory cache."""
+        return len(self._placements)
+
+    # ------------------------------------------------------------- lifecycle
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("fusion session is closed")
+
+    def close(self) -> None:
+        """Release the worker pool and every owned shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for _, shared in self._placements.values():
+            shared.close()
+        self._placements.clear()
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "FusionSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (f"<FusionSession engine={self.engine!r} backend={self.backend!r} "
+                f"runs={self._runs} {state}>")
+
+
+def open_session(**kwargs) -> FusionSession:
+    """Open a :class:`FusionSession`; see the class for parameters.
+
+    The name mirrors :func:`open`: sessions hold operating-system resources
+    (processes, shared memory) and should be closed -- use ``with``::
+
+        with repro.open_session(backend="process", workers=4) as session:
+            reports = session.fuse_many(cubes)
+    """
+    return FusionSession(**kwargs)
+
+
+__all__ = ["FusionSession", "open_session"]

@@ -20,12 +20,12 @@ import dataclasses
 from typing import Optional
 
 from ..config import FusionConfig, ResilienceConfig
-from ..core.resilient import ResilientPCT, ResilientRunOutcome
+from ..core.resilient import ResilientRunOutcome, _ResilientPCT
 from ..data.cube import HyperspectralCube
 from ..resilience.attack import AttackScenario
 
 
-class StaticReplicationPCT(ResilientPCT):
+class StaticReplicationPCT(_ResilientPCT):
     """Replicated distributed fusion with regeneration switched off.
 
     Accepts the same arguments as :class:`~repro.core.resilient.ResilientPCT`

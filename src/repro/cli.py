@@ -1,13 +1,19 @@
 """Command-line front end.
 
 ``repro-fusion`` (installed by the package) or ``python -m repro.cli`` exposes
-the three fusion engines and the synthetic data generator without writing any
-Python::
+the registered fusion engines and the synthetic data generator without
+writing any Python::
 
     repro-fusion generate --bands 64 --rows 96 --cols 96 --out scene.npz
-    repro-fusion fuse scene.npz --mode sequential --out composite.npz
-    repro-fusion fuse scene.npz --mode resilient --workers 8 --attack worker.2
+    repro-fusion fuse scene.npz --engine sequential --out composite.npz
+    repro-fusion fuse scene.npz --engine resilient --workers 8 --attack worker.2
+    repro-fusion fuse scene.npz --engine distributed --backend process:4
     repro-fusion sweep --workers 1 2 4 8 --scale 0.25
+
+Every command is a thin layer over :func:`repro.fuse`: engine and backend
+names come straight from the registries, so an engine or backend registered
+by downstream code is usable here without touching this module.  ``--mode``
+is kept as an alias of ``--engine`` for backward compatibility.
 """
 
 from __future__ import annotations
@@ -21,14 +27,14 @@ import numpy as np
 from . import __version__
 from .analysis.quality import enhancement_report
 from .analysis.report import dict_table
+from .api.engines import engine_names
+from .api.facade import fuse as api_fuse
 from .config import FusionConfig, PartitionConfig, ResilienceConfig
-from .core.distributed import DistributedPCT
-from .core.pipeline import SpectralScreeningPCT
-from .core.resilient import ResilientPCT
 from .data.cube import HyperspectralCube
 from .data.hydice import HydiceConfig, HydiceGenerator
 from .logging_utils import configure_basic_logging
 from .resilience.attack import AttackScenario
+from .scp.registry import BackendSpec, backend_names
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,22 +56,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
     fuse = subparsers.add_parser("fuse", help="fuse a cube into a colour composite")
     fuse.add_argument("cube", help="input .npz cube (from the generate command)")
-    fuse.add_argument("--mode", choices=["sequential", "distributed", "resilient"],
-                      default="sequential")
-    fuse.add_argument("--backend", choices=["sim", "local", "process"], default="sim",
-                      help="execution backend for distributed/resilient modes: "
-                           "'sim' models a cluster in virtual time, 'local' uses "
-                           "host threads, 'process' uses real parallel processes")
-    fuse.add_argument("--workers", type=int, default=4)
+    fuse.add_argument("--engine", "--mode", dest="engine",
+                      choices=engine_names(), default="sequential",
+                      help="registered fusion engine (--mode is a deprecated alias)")
+    fuse.add_argument("--backend", default="sim", metavar="SPEC",
+                      help="backend spec for backend-using engines, e.g. "
+                           f"{', '.join(backend_names())}; parameterised forms "
+                           "such as 'process:fork' or 'sim:switched' are accepted")
+    fuse.add_argument("--workers", type=int, default=None,
+                      help="worker threads (default 4; a spec hint like "
+                           "'process:8' applies when this flag is omitted)")
     fuse.add_argument("--subcubes", type=int, default=None)
     fuse.add_argument("--replication", type=int, default=2)
     fuse.add_argument("--attack", default=None,
-                      help="logical worker to attack mid-run (resilient mode only)")
+                      help="logical worker to attack mid-run (resilient engine only)")
     fuse.add_argument("--out", default=None, help="optional output .npz for the composite")
 
     sweep = subparsers.add_parser("sweep", help="run a small speed-up sweep (Figure 4 style)")
     sweep.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4, 8])
-    sweep.add_argument("--backend", choices=["sim", "local", "process"], default="sim",
+    sweep.add_argument("--backend", default="sim", metavar="SPEC",
                        help="'sim' sweeps virtual time on the modelled cluster; "
                             "'process' measures real wall-clock speed-up against "
                             "the sequential reference")
@@ -105,34 +114,33 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuse(args: argparse.Namespace) -> int:
+    from .api.engines import get_engine
+
     cube = HyperspectralCube.load_npz(args.cube)
-    config = FusionConfig(partition=PartitionConfig(workers=args.workers,
-                                                    subcubes=args.subcubes))
-    if args.mode == "sequential":
-        result = SpectralScreeningPCT(config).fuse(cube)
-        elapsed = None
-    elif args.mode == "distributed":
-        outcome = DistributedPCT(config, backend=args.backend).fuse(cube)
-        result, elapsed = outcome.result, outcome.elapsed_seconds
-    else:
-        resilience = ResilienceConfig(replication_level=args.replication)
-        attack = (AttackScenario.single_worker_kill(args.attack, at=1.0)
-                  if args.attack else None)
-        if attack is not None and args.backend != "sim":
-            raise SystemExit("scripted attacks need the simulated backend's "
-                             "virtual clock; use --backend sim with --attack")
-        outcome = ResilientPCT(config.with_resilience(resilience),
-                               backend=args.backend, attack=attack).fuse(cube)
-        result, elapsed = outcome.result, outcome.elapsed_seconds
+    # --backend always has a default; only hand it to engines that use one
+    # (the sequential engine rejects an explicit backend).
+    backend = args.backend if get_engine(args.engine).uses_backend else None
+    options = {}
+    if args.engine == "resilient":
+        options["replication"] = args.replication
+        if args.attack:
+            if BackendSpec.parse(args.backend).name != "sim":
+                raise SystemExit("scripted attacks need the simulated backend's "
+                                 "virtual clock; use --backend sim with --attack")
+            options["attack"] = AttackScenario.single_worker_kill(args.attack, at=1.0)
+    report = api_fuse(cube, engine=args.engine, backend=backend,
+                      workers=args.workers, subcubes=args.subcubes, **options)
+    result = report.result
 
     summary = {
         "mode": result.metadata.get("mode"),
         "unique_set_size": result.unique_set_size,
         "composite_shape": str(result.composite.shape),
     }
-    if elapsed is not None:
-        label = "virtual_seconds" if args.backend == "sim" else "wall_seconds"
-        summary[label] = f"{elapsed:.2f}"
+    if report.engine != "sequential":
+        label = ("virtual_seconds" if BackendSpec.parse(args.backend).name == "sim"
+                 else "wall_seconds")
+        summary[label] = f"{report.elapsed_seconds:.2f}"
     label_map = cube.metadata.get("target_mask")
     if label_map is not None:
         report = enhancement_report(cube, result.composite, label_map)
@@ -155,7 +163,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.bands != cube.bands:
         cube = HydiceGenerator(HydiceConfig(bands=args.bands, rows=cube.rows,
                                             cols=cube.cols, seed=args.seed)).generate()
-    if args.backend != "sim":
+    if BackendSpec.parse(args.backend).name != "sim":
         from .experiments.measured import run_measured_speedup
 
         result = run_measured_speedup(cube, processors=tuple(args.workers),
@@ -167,9 +175,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for workers in args.workers:
         config = FusionConfig(partition=PartitionConfig(workers=workers,
                                                         subcubes=workers * 2))
-        plain.add(workers, DistributedPCT(config).fuse(cube).elapsed_seconds)
+        plain.add(workers, api_fuse(cube, engine="distributed", backend=args.backend,
+                                    config=config).elapsed_seconds)
         res_config = config.with_resilience(ResilienceConfig(execute_replicas=False))
-        resilient.add(workers, ResilientPCT(res_config).fuse(cube).elapsed_seconds)
+        resilient.add(workers, api_fuse(cube, engine="resilient", backend=args.backend,
+                                        config=res_config).elapsed_seconds)
     print(figure4_table(plain, resilient))
     return 0
 
@@ -209,18 +219,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.verbose:
         configure_basic_logging()
-    if args.command == "generate":
-        return _cmd_generate(args)
-    if args.command == "fuse":
-        return _cmd_fuse(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "figure4":
-        return _cmd_figure4(args)
-    if args.command == "figure5":
-        return _cmd_figure5(args)
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    commands = {"generate": _cmd_generate, "fuse": _cmd_fuse, "sweep": _cmd_sweep,
+                "figure4": _cmd_figure4, "figure5": _cmd_figure5}
+    handler = commands.get(args.command)
+    if handler is None:
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return handler(args)
+    except ValueError as exc:
+        # Registry lookups raise actionable ValueErrors (they list the
+        # registered engine/backend names); show them without a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -7,6 +7,11 @@ Three entry points share one algorithm implementation:
   SCP runtime (simulated cluster or real threads),
 * :class:`~repro.core.resilient.ResilientPCT` -- the distributed engine with
   computational resiliency (replication, detection, regeneration) applied.
+
+``DistributedPCT`` and ``ResilientPCT`` are deprecated shims kept for
+backward compatibility; new code reaches these engines through
+:func:`repro.fuse` / :func:`repro.open_session` and the engine registry
+(:mod:`repro.api.engines`).
 """
 
 from .distributed import (MANAGER_NAME, WORKER_PREFIX, DistributedPCT,

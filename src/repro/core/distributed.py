@@ -28,16 +28,17 @@ sequential :class:`~repro.core.pipeline.SpectralScreeningPCT` reference.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..cluster.machine import Cluster
 from ..cluster.metrics import RunMetrics
-from ..cluster.presets import sun_ultra_lan
 from ..config import FusionConfig
 from ..data.cube import HyperspectralCube
 from ..scp.local_backend import LocalBackend
 from ..scp.process_backend import ProcessBackend
+from ..scp.registry import BackendContext, BackendSpec, create_backend
 from ..scp.runtime import Application, Backend, RunResult
 from ..scp.sim_backend import ProtocolConfig, SimBackend
 from ..scp.topology import CommunicationStructure
@@ -78,7 +79,7 @@ class DistributedRunOutcome:
         return self.metrics.elapsed_seconds
 
 
-class DistributedPCT:
+class _DistributedPCT:
     """Manager/worker fusion engine on the SCP runtime.
 
     Parameters
@@ -92,8 +93,10 @@ class DistributedPCT:
         to :func:`~repro.cluster.presets.sun_ultra_lan` sized to the worker
         count (plus a dedicated manager node).
     backend:
-        ``"sim"``, ``"local"``, ``"process"``, or an already-constructed
-        :class:`~repro.scp.runtime.Backend` instance.
+        A registry spec string (``"sim"``, ``"local"``, ``"process"``, or a
+        parameterised form such as ``"process:fork"`` / ``"sim:switched"``),
+        a parsed :class:`~repro.scp.registry.BackendSpec`, or an
+        already-constructed :class:`~repro.scp.runtime.Backend` instance.
     n_components:
         Principal components retained (>= 3).
     prefetch:
@@ -110,7 +113,7 @@ class DistributedPCT:
 
     def __init__(self, config: Optional[FusionConfig] = None, *,
                  cluster: Optional[Cluster] = None,
-                 backend: Union[str, Backend] = "sim",
+                 backend: Union[str, BackendSpec, Backend] = "sim",
                  n_components: int = 3,
                  full_projection: bool = True,
                  prefetch: int = 2,
@@ -173,22 +176,23 @@ class DistributedPCT:
 
     # --------------------------------------------------------------- backend
     def make_backend(self) -> Backend:
-        """Instantiate the execution backend chosen at construction time."""
+        """Instantiate the execution backend chosen at construction time.
+
+        Spec strings are resolved through the backend registry
+        (:mod:`repro.scp.registry`); already-built :class:`Backend`
+        instances pass through unchanged.
+        """
         if isinstance(self.backend_choice, Backend):
             return self.backend_choice
-        if self.backend_choice == "local":
-            return LocalBackend()
-        if self.backend_choice == "process":
-            return ProcessBackend()
-        if self.backend_choice == "sim":
-            cluster = self.cluster or sun_ultra_lan(self.workers)
-            return SimBackend(cluster,
-                              pinned={MANAGER_NAME: "manager"}
-                              if "manager" in cluster.node_names else None,
-                              protocol=self.protocol,
-                              share_replica_results=self.share_replica_results)
-        raise ValueError(f"unknown backend {self.backend_choice!r}; "
-                         f"expected 'sim', 'local', 'process' or a Backend instance")
+        context = BackendContext(workers=self.workers, cluster=self.cluster,
+                                 protocol=self.protocol,
+                                 share_replica_results=self.share_replica_results,
+                                 manager=MANAGER_NAME)
+        backend = create_backend(self.backend_choice, context)
+        # The sim factory resolves the preset cluster; remember it so repeated
+        # fuse() calls and the resiliency layer see the same model.
+        self.cluster = context.cluster
+        return backend
 
     # ------------------------------------------------------------------ fuse
     def fuse(self, cube: HyperspectralCube, *,
@@ -214,6 +218,23 @@ class DistributedPCT:
         metrics.workers = self.workers
         metrics.subcubes = max(self.config.partition.effective_subcubes, self.workers)
         return DistributedRunOutcome(result=result, metrics=metrics, run=run)
+
+
+class DistributedPCT(_DistributedPCT):
+    """Deprecated constructor-style entry point.
+
+    Kept as a thin shim over the internal engine so existing code keeps
+    working unchanged; new code should call :func:`repro.fuse` (one shot) or
+    :func:`repro.open_session` (repeated workloads) with
+    ``engine="distributed"`` instead.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "DistributedPCT is deprecated; use repro.fuse(cube, "
+            "engine='distributed', backend=...) or repro.open_session(...) instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)
 
 
 __all__ = ["DistributedPCT", "DistributedRunOutcome", "worker_name",

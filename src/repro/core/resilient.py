@@ -16,12 +16,12 @@ Figure 4 measures.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..cluster.machine import Cluster
 from ..cluster.metrics import RunMetrics
-from ..cluster.presets import sun_ultra_lan
 from ..config import FusionConfig, ResilienceConfig
 from ..data.cube import HyperspectralCube
 from ..resilience.attack import AttackScenario
@@ -29,9 +29,10 @@ from ..resilience.coordinator import ResilienceCoordinator, protocol_config_for
 from ..resilience.policy import ReplicationPolicy
 from ..scp.local_backend import LocalBackend
 from ..scp.process_backend import ProcessBackend
+from ..scp.registry import BackendContext, BackendSpec, create_backend
 from ..scp.runtime import Application, Backend, RunResult
 from ..scp.sim_backend import SimBackend
-from .distributed import (MANAGER_NAME, DistributedPCT, DistributedRunOutcome)
+from .distributed import (MANAGER_NAME, DistributedRunOutcome, _DistributedPCT)
 from .pipeline import FusionResult
 
 
@@ -50,7 +51,7 @@ class ResilientRunOutcome(DistributedRunOutcome):
         return int(self.metrics.failures_injected)
 
 
-class ResilientPCT:
+class _ResilientPCT:
     """Distributed spectral-screening PCT with computational resiliency.
 
     Parameters
@@ -77,7 +78,7 @@ class ResilientPCT:
 
     def __init__(self, config: Optional[FusionConfig] = None, *,
                  cluster: Optional[Cluster] = None,
-                 backend: str = "sim",
+                 backend: Union[str, BackendSpec, Backend] = "sim",
                  n_components: int = 3,
                  full_projection: bool = True,
                  prefetch: int = 2,
@@ -96,7 +97,7 @@ class ResilientPCT:
         self.attack = attack
         self.camouflage_period = camouflage_period
         self.share_replica_results = share_replica_results
-        self._distributed = DistributedPCT(
+        self._distributed = _DistributedPCT(
             self.config, cluster=cluster, backend=backend, n_components=n_components,
             full_projection=full_projection, prefetch=prefetch,
             reassign_timeout=reassign_timeout,
@@ -117,22 +118,23 @@ class ResilientPCT:
             cube, worker_replicas=self.resilience.replication_level)
 
     def make_backend(self) -> Backend:
-        """Instantiate the backend with the resiliency protocol cost model."""
-        if self.backend_choice == "local":
-            return LocalBackend()
-        if self.backend_choice == "process":
-            return ProcessBackend()
-        if self.backend_choice == "sim":
-            cluster = self.cluster or sun_ultra_lan(self.workers)
-            self.cluster = cluster
-            return SimBackend(
-                cluster,
-                pinned={MANAGER_NAME: "manager"} if "manager" in cluster.node_names else None,
-                protocol=protocol_config_for(self.resilience),
-                share_replica_results=(self.share_replica_results
-                                       and not self.resilience.execute_replicas),
-            )
-        raise ValueError(f"unknown backend {self.backend_choice!r}")
+        """Instantiate the backend with the resiliency protocol cost model.
+
+        Spec strings go through the backend registry
+        (:mod:`repro.scp.registry`); the context charges the resiliency
+        protocol overheads on the simulated backend.
+        """
+        if isinstance(self.backend_choice, Backend):
+            return self.backend_choice
+        context = BackendContext(
+            workers=self.workers, cluster=self.cluster,
+            protocol=protocol_config_for(self.resilience),
+            share_replica_results=(self.share_replica_results
+                                   and not self.resilience.execute_replicas),
+            manager=MANAGER_NAME)
+        backend = create_backend(self.backend_choice, context)
+        self.cluster = context.cluster
+        return backend
 
     # ------------------------------------------------------------------ fuse
     def fuse(self, cube: HyperspectralCube) -> ResilientRunOutcome:
@@ -183,6 +185,23 @@ class ResilientPCT:
         result.metadata["mode"] = "resilient"
         return ResilientRunOutcome(result=result, metrics=metrics, run=run,
                                    resilience_report=report)
+
+
+class ResilientPCT(_ResilientPCT):
+    """Deprecated constructor-style entry point.
+
+    Kept as a thin shim over the internal engine so existing code keeps
+    working unchanged; new code should call :func:`repro.fuse` (one shot) or
+    :func:`repro.open_session` (repeated workloads) with
+    ``engine="resilient"`` instead.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "ResilientPCT is deprecated; use repro.fuse(cube, "
+            "engine='resilient', backend=...) or repro.open_session(...) instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)
 
 
 __all__ = ["ResilientPCT", "ResilientRunOutcome"]

@@ -18,8 +18,7 @@ from ..analysis.report import figure4_table, overhead_table
 from ..analysis.speedup import (OverheadDecomposition, SpeedupCurve,
                                 mean_protocol_overhead, overhead_decomposition)
 from ..config import PAPER_SETUP, FusionConfig, PartitionConfig, ResilienceConfig
-from ..core.distributed import DistributedPCT
-from ..core.resilient import ResilientPCT
+from ..api.facade import fuse
 from ..data.cube import HyperspectralCube
 
 
@@ -104,13 +103,15 @@ def run_figure4(cube: HyperspectralCube, *,
     for workers in processors:
         partition = PartitionConfig(workers=workers, subcubes=max(subcubes, workers))
         plain_config = FusionConfig(partition=partition)
-        plain_outcome = DistributedPCT(plain_config, prefetch=prefetch).fuse(cube)
+        plain_outcome = fuse(cube, engine="distributed", config=plain_config,
+                             prefetch=prefetch)
         plain_curve.add(workers, plain_outcome.elapsed_seconds)
         per_run_metrics[(workers, False)] = plain_outcome.metrics
 
         resilient_config = plain_config.with_resilience(ResilienceConfig(
             replication_level=replication_level, execute_replicas=execute_replicas))
-        resilient_outcome = ResilientPCT(resilient_config, prefetch=prefetch).fuse(cube)
+        resilient_outcome = fuse(cube, engine="resilient", config=resilient_config,
+                                 prefetch=prefetch)
         resilient_curve.add(workers, resilient_outcome.elapsed_seconds)
         per_run_metrics[(workers, True)] = resilient_outcome.metrics
 

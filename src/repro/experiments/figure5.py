@@ -15,7 +15,7 @@ from ..analysis.figures import figure5_chart
 from ..analysis.report import figure5_table, format_table
 from ..analysis.speedup import SpeedupCurve
 from ..config import PAPER_SETUP, FusionConfig, PartitionConfig
-from ..core.distributed import DistributedPCT
+from ..api.facade import fuse
 from ..data.cube import HyperspectralCube
 
 
@@ -97,7 +97,8 @@ def run_figure5(cube: HyperspectralCube, *,
             subcubes = min(workers * multiplier, cube.rows)
             config = FusionConfig(partition=PartitionConfig(workers=workers,
                                                             subcubes=subcubes))
-            outcome = DistributedPCT(config, prefetch=prefetch).fuse(cube)
+            outcome = fuse(cube, engine="distributed", config=config,
+                           prefetch=prefetch)
             curve.add(workers, outcome.elapsed_seconds)
         curves[multiplier] = curve
 
@@ -107,7 +108,7 @@ def run_figure5(cube: HyperspectralCube, *,
             continue
         config = FusionConfig(partition=PartitionConfig(workers=tail_off_workers,
                                                         subcubes=subcubes))
-        outcome = DistributedPCT(config, prefetch=prefetch).fuse(cube)
+        outcome = fuse(cube, engine="distributed", config=config, prefetch=prefetch)
         tail_off[subcubes] = outcome.elapsed_seconds
 
     return Figure5Result(curves=curves, tail_off=tail_off,

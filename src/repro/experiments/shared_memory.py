@@ -15,7 +15,7 @@ from ..analysis.report import format_table
 from ..analysis.speedup import SpeedupCurve
 from ..cluster.presets import shared_memory_smp, sun_ultra_lan
 from ..config import FusionConfig, PartitionConfig
-from ..core.distributed import DistributedPCT
+from ..api.facade import fuse
 from ..data.cube import HyperspectralCube
 
 
@@ -62,11 +62,11 @@ def run_shared_memory_comparison(cube: HyperspectralCube, *,
     for workers in processors:
         config = FusionConfig(partition=PartitionConfig(
             workers=workers, subcubes=max(subcubes, workers)))
-        smp_outcome = DistributedPCT(config, cluster=shared_memory_smp(workers),
-                                     prefetch=prefetch).fuse(cube)
+        smp_outcome = fuse(cube, engine="distributed", config=config,
+                           cluster=shared_memory_smp(workers), prefetch=prefetch)
         smp_curve.add(workers, smp_outcome.elapsed_seconds)
-        lan_outcome = DistributedPCT(config, cluster=sun_ultra_lan(workers),
-                                     prefetch=prefetch).fuse(cube)
+        lan_outcome = fuse(cube, engine="distributed", config=config,
+                           cluster=sun_ultra_lan(workers), prefetch=prefetch)
         lan_curve.add(workers, lan_outcome.elapsed_seconds)
     return SharedMemoryResult(smp=smp_curve, lan=lan_curve)
 

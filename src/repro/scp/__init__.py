@@ -9,6 +9,11 @@ execution backends -- real threads (:mod:`.local_backend`), real processes
 with shared-memory data placement (:mod:`.process_backend`) and a
 deterministic discrete-event simulation of a workstation cluster
 (:mod:`.sim_backend`).
+
+Backends are addressable by name through the registry (:mod:`.registry`,
+spec strings such as ``"process:fork"`` or ``"sim:switched"``), and the
+persistent worker pool (:mod:`.pool`) lets repeated runs reuse live worker
+processes instead of spawning per run.
 """
 
 from .channel import Mailbox
@@ -19,7 +24,10 @@ from .errors import (DeadlockError, PlacementError, ReceiveTimeout,
                      UnknownDestinationError)
 from .group import Router
 from .local_backend import LocalBackend
+from .pool import PooledProcessBackend, ProcessPool, default_start_method
 from .process_backend import ProcessBackend
+from .registry import (SIM_PRESETS, BackendContext, BackendSpec, backend_names,
+                       create_backend, describe_backends, register_backend)
 from .runtime import (Application, Backend, Context, RunResult, ThreadOutcome,
                       plan_placement)
 from .serialization import ENVELOPE_OVERHEAD_BYTES, Envelope, payload_nbytes
@@ -49,7 +57,17 @@ __all__ = [
     "UnknownDestinationError",
     "Router",
     "LocalBackend",
+    "PooledProcessBackend",
+    "ProcessPool",
+    "default_start_method",
     "ProcessBackend",
+    "SIM_PRESETS",
+    "BackendContext",
+    "BackendSpec",
+    "backend_names",
+    "create_backend",
+    "describe_backends",
+    "register_backend",
     "Application",
     "Backend",
     "Context",

@@ -1,0 +1,345 @@
+"""Persistent worker-process pool: amortised spawning for repeated runs.
+
+:class:`~repro.scp.process_backend.ProcessBackend` spawns one operating-system
+process per physical replica *per run* and tears everything down afterwards.
+For a single fusion that is the right lifecycle, but a service fusing many
+cubes pays the interpreter start-up (hundreds of milliseconds per process
+under the portable ``spawn`` start method) on every request.
+
+This module keeps the processes alive instead:
+
+* :class:`ProcessPool` owns long-lived *slots* -- worker processes running
+  :func:`_pool_child_main`, which sits on its inbox waiting for a program
+  assignment, interprets it with the exact same effect interpreter the
+  one-shot backend uses (:func:`~repro.scp.process_backend._interpret_program`),
+  reports through the pool's shared outbox, and returns to idle.
+* :class:`PooledProcessBackend` is a drop-in :class:`Backend` that borrows
+  slots from a pool instead of spawning processes.  Parent-side routing,
+  metrics, crash detection and regeneration are inherited unchanged from
+  :class:`ProcessBackend`; only the provisioning of execution vehicles
+  differs.
+
+The pool grows on demand (a run needing more replicas than there are idle
+slots spawns the difference) and never shrinks on its own; slots whose
+process died, was fault-injected, or may still be executing an abandoned
+program are discarded rather than reused, so a recycled slot is always
+genuinely idle.  One pool serves one run at a time -- interleaving two
+concurrent runs over the same outbox would cross their reports -- which is
+exactly the serial reuse pattern :class:`repro.api.session.FusionSession`
+needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_module
+import threading
+from typing import Any, List, Optional
+
+from ..logging_utils import get_logger
+from .errors import RuntimeStateError
+from .process_backend import (_SHUTDOWN, ProcessBackend, _interpret_program,
+                              _ProcessTask)
+
+_LOG = get_logger("scp.pool")
+
+#: First element of a program-assignment tuple deposited on a slot's inbox.
+_ASSIGN = "__scp_pool_assign__"
+
+#: Sentinel asking a pool child to exit its idle loop and terminate.
+_POOL_EXIT = "__scp_pool_exit__"
+
+
+def default_start_method() -> str:
+    """Cheapest safe ``multiprocessing`` start method on this platform.
+
+    ``fork`` avoids re-importing the interpreter per slot and is an order of
+    magnitude faster to start than ``spawn``; it is preferred wherever the
+    OS offers it.  For a pool the start cost only matters when the pool
+    grows, but fast growth keeps the first request of a session cheap too.
+    """
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _pool_child_main(slot_name: str, inbox, outbox) -> None:
+    """Idle loop of a pool slot: wait for assignments, interpret, repeat.
+
+    Anything on the inbox that is not an assignment or the exit sentinel --
+    a stale envelope or shutdown marker from a program that already ended --
+    is dropped, so leftovers of a previous run can never leak into the next.
+    """
+    while True:
+        item = inbox.get()
+        if isinstance(item, str) and item == _POOL_EXIT:
+            return
+        if not (isinstance(item, tuple) and len(item) == 10 and item[0] == _ASSIGN):
+            continue
+        (_, logical, replica, physical_id, node, program, params,
+         restored, incarnation, epoch) = item
+        _interpret_program(logical, replica, physical_id, node, program,
+                           params, restored, incarnation, inbox, outbox, epoch)
+
+
+class _PoolSlot:
+    """Parent-side record of one long-lived worker process."""
+
+    def __init__(self, name: str, process, inbox) -> None:
+        self.name = name
+        self.process = process
+        self.inbox = inbox
+        self.busy = False
+        self.assignments = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ProcessPool:
+    """A growable set of long-lived worker processes.
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method for slot processes; defaults to
+        :func:`default_start_method` (``fork`` where available -- safe here
+        because slots are spawned from the single-threaded control path).
+    warm:
+        Number of slots to spawn immediately; the pool also grows on demand.
+    """
+
+    def __init__(self, *, start_method: Optional[str] = None, warm: int = 0) -> None:
+        self.start_method = start_method or default_start_method()
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self.outbox = self._ctx.Queue()
+        self._slots: List[_PoolSlot] = []
+        self._lock = threading.Lock()
+        self._names = itertools.count()
+        self._closed = False
+        #: Total slot processes ever spawned (observable setup cost; a warmed
+        #: session keeps this flat across repeated runs).
+        self.spawned_processes = 0
+        if warm:
+            self.ensure(warm)
+
+    # --------------------------------------------------------------- queries
+    @property
+    def size(self) -> int:
+        """Live slots, busy or idle."""
+        with self._lock:
+            return sum(1 for slot in self._slots if slot.alive)
+
+    @property
+    def idle(self) -> int:
+        with self._lock:
+            return sum(1 for slot in self._slots if slot.alive and not slot.busy)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------ allocation
+    def ensure(self, count: int) -> None:
+        """Grow the pool until at least ``count`` live slots exist."""
+        with self._lock:
+            self._check_open()
+            self._prune_dead()
+            while sum(1 for slot in self._slots if slot.alive) < count:
+                self._spawn_slot()
+
+    def acquire(self) -> _PoolSlot:
+        """Borrow an idle slot, spawning a fresh one when none is free."""
+        with self._lock:
+            self._check_open()
+            self._prune_dead()
+            for slot in self._slots:
+                if slot.alive and not slot.busy:
+                    slot.busy = True
+                    slot.assignments += 1
+                    return slot
+            slot = self._spawn_slot()
+            slot.busy = True
+            slot.assignments += 1
+            return slot
+
+    def release(self, slot: _PoolSlot) -> None:
+        """Return a borrowed slot; unknown (discarded) slots are ignored."""
+        with self._lock:
+            if slot in self._slots:
+                slot.busy = False
+
+    def discard(self, slot: _PoolSlot) -> None:
+        """Remove a slot from the pool and terminate its process.
+
+        Used for fault injection, timeouts, and any slot that may still be
+        executing an abandoned program -- reusing such a slot could leak a
+        stale report into a later run.  The slot's inbox is released here
+        too: its feeder thread would otherwise block interpreter shutdown
+        on data buffered for the killed process.
+        """
+        with self._lock:
+            if slot in self._slots:
+                self._slots.remove(slot)
+        if slot.process.is_alive():
+            slot.process.kill()
+            slot.process.join(timeout=1.0)
+        slot.inbox.cancel_join_thread()
+        slot.inbox.close()
+
+    def _spawn_slot(self) -> _PoolSlot:
+        name = f"scp-pool-{next(self._names)}"
+        inbox = self._ctx.Queue()
+        process = self._ctx.Process(target=_pool_child_main,
+                                    args=(name, inbox, self.outbox),
+                                    name=name, daemon=True)
+        process.start()
+        self.spawned_processes += 1
+        slot = _PoolSlot(name, process, inbox)
+        self._slots.append(slot)
+        return slot
+
+    def _prune_dead(self) -> None:
+        self._slots = [slot for slot in self._slots if slot.alive]
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeStateError("process pool is closed")
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Terminate every slot and release the pool's queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            slots = list(self._slots)
+            self._slots.clear()
+        for slot in slots:
+            try:
+                slot.inbox.put(_POOL_EXIT)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for slot in slots:
+            slot.process.join(timeout=1.0)
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join(timeout=1.0)
+        for slot in slots:
+            slot.inbox.cancel_join_thread()
+            slot.inbox.close()
+        self.outbox.cancel_join_thread()
+        self.outbox.close()
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PooledProcessBackend(ProcessBackend):
+    """Process backend that borrows replicas from a :class:`ProcessPool`.
+
+    A backend instance is still single use -- parent-side routing state is
+    per run -- but the expensive part, the worker processes, persists in the
+    pool across instances.  Create one per run::
+
+        pool = ProcessPool()
+        result = PooledProcessBackend(pool).run(app, until_thread="manager")
+        result = PooledProcessBackend(pool).run(app2, until_thread="manager")
+        pool.close()
+    """
+
+    kind = "pooled-process"
+
+    def __init__(self, pool: ProcessPool, *, crash_policy: str = "raise",
+                 default_timeout: Optional[float] = 300.0,
+                 shutdown_grace: float = 5.0) -> None:
+        super().__init__(crash_policy=crash_policy, default_timeout=default_timeout,
+                         start_method=pool.start_method, shutdown_grace=shutdown_grace)
+        self._pool = pool
+
+    # --------------------------------------------------------- task plumbing
+    def _make_outbox(self):
+        # Reuse the pool's long-lived report queue; drop anything a previous
+        # run may have left behind so its records cannot bleed into this one.
+        while True:
+            try:
+                self._pool.outbox.get_nowait()
+            except queue_module.Empty:
+                break
+        return self._pool.outbox
+
+    def _provision_task(self, task: _ProcessTask, restored: Any) -> None:
+        task.restored = restored
+        slot = self._pool.acquire()
+        task.slot = slot
+        task.inbox = slot.inbox
+        task.process = slot.process
+
+    def _start_task(self, task: _ProcessTask) -> None:
+        task.status = "running"
+        task.inbox.put((_ASSIGN, task.logical, task.replica, task.physical_id,
+                        task.physical_id, task.spec.program,
+                        self._shared_params[task.logical], task.restored,
+                        task.incarnation, self._epoch))
+        # Only after the assignment: the idle loop drops anything earlier.
+        self._flush_dead_letters(task)
+
+    # ----------------------------------------------------------- termination
+    def kill_thread(self, physical_id: str, reason: str = "killed") -> bool:
+        with self._lock:
+            task = self._tasks.get(physical_id)
+            if task is None or not task.alive:
+                return False
+            task.status = "killed"
+            self.router.unregister(physical_id)
+            if reason == "killed":
+                self.collector.increment("failures_injected")
+            slot = getattr(task, "slot", None)
+            logical = task.logical
+        if slot is not None:
+            if reason == "shutdown":
+                # Ask the child to abandon the program and return to idle;
+                # the slot itself is discarded at cleanup (it may comply
+                # arbitrarily late, so it must not be reused).
+                try:
+                    slot.inbox.put(_SHUTDOWN)
+                except Exception:  # pragma: no cover - queue already closed
+                    pass
+            else:
+                # Fault injection / timeout: SIGKILL the slot for real.
+                self._pool.discard(slot)
+        if reason == "killed":
+            for callback in self._death_callbacks:
+                callback(physical_id, logical, reason)
+        return True
+
+    # --------------------------------------------------------------- cleanup
+    def _cleanup(self) -> None:
+        """Return slots to the pool instead of tearing processes down.
+
+        Only slots whose program provably ended -- a ``finished`` report, or
+        a ``crashed`` report from a program error the child caught (the
+        child is back in its idle loop either way) -- are recycled.  A slot
+        whose process died, or that was shut down mid-program and may still
+        be executing, is discarded so the pool never hands out a slot with
+        an old program attached.
+        """
+        with self._lock:
+            tasks = list(self._tasks.values())
+        for task in tasks:
+            slot = getattr(task, "slot", None)
+            if slot is None:
+                continue
+            if task.status in ("finished", "crashed") and slot.alive:
+                self._pool.release(slot)
+            else:
+                self._pool.discard(slot)
+        for cube in self._shared_cubes:
+            cube.close()
+        self._shared_cubes.clear()
+
+
+__all__ = ["ProcessPool", "PooledProcessBackend", "default_start_method"]

@@ -78,15 +78,19 @@ class _ShutdownSignal(Exception):
 # Child-process side
 # ---------------------------------------------------------------------------
 
-def _child_main(logical: str, replica: int, physical_id: str, node: str,
-                program: Callable, params: Dict[str, Any], restored: Any,
-                incarnation: int, inbox, outbox, epoch: float) -> None:
+def _interpret_program(logical: str, replica: int, physical_id: str, node: str,
+                       program: Callable, params: Dict[str, Any], restored: Any,
+                       incarnation: int, inbox, outbox, epoch: float) -> None:
     """Interpret one thread program inside a worker process.
 
     Everything observable leaves through ``outbox`` as small tagged tuples:
     ``("send", pid, envelope)``, ``("phase", pid, node, name, seconds)``,
     ``("checkpoint", logical, state)``, ``("finished", pid, result, dups)``
     and ``("crashed", pid, message)``.
+
+    Returns normally both when the program runs to completion and when the
+    parent requests a shutdown mid-program, so a long-lived pool worker
+    (:mod:`repro.scp.pool`) can call this in a loop, one program per run.
     """
     ctx = Context(name=logical, replica=replica, physical_id=physical_id,
                   node=node, params=dict(params), restored=restored,
@@ -188,6 +192,14 @@ def _child_main(logical: str, replica: int, physical_id: str, node: str,
         outbox.put(("crashed", physical_id, repr(err)))
 
 
+def _child_main(logical: str, replica: int, physical_id: str, node: str,
+                program: Callable, params: Dict[str, Any], restored: Any,
+                incarnation: int, inbox, outbox, epoch: float) -> None:
+    """Entry point of a single-program worker process."""
+    _interpret_program(logical, replica, physical_id, node, program, params,
+                       restored, incarnation, inbox, outbox, epoch)
+
+
 # ---------------------------------------------------------------------------
 # Parent-process side
 # ---------------------------------------------------------------------------
@@ -205,6 +217,7 @@ class _ProcessTask:
         self.daemon = spec.daemon
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self.inbox = None
+        self.restored: Any = None
         self.status = "ready"
         self.result: Any = None
         self.error: Optional[str] = None
@@ -300,7 +313,7 @@ class ProcessBackend(Backend):
         app.validate()
         self._app = app
         timeout = timeout if timeout is not None else self.default_timeout
-        self._outbox = self._mp.Queue()
+        self._outbox = self._make_outbox()
         self._epoch = time.time()
         self._start_time = time.perf_counter()
 
@@ -451,6 +464,11 @@ class ProcessBackend(Backend):
             self._crash(pid, f"process died without reporting (exit code {exitcode})")
 
     # --------------------------------------------------------- task plumbing
+    def _make_outbox(self):
+        """Create the queue children report through (one per run here; the
+        pooled backend reuses its pool's long-lived outbox instead)."""
+        return self._mp.Queue()
+
     def _create_task(self, spec: ThreadSpec, replica: int, *, restored: Any,
                      incarnation: int) -> _ProcessTask:
         pid = physical_name(spec.name, replica)
@@ -461,22 +479,37 @@ class ProcessBackend(Backend):
             self._shared_params[spec.name] = params
             self._shared_cubes.extend(created)
         task = _ProcessTask(spec, replica, pid, incarnation)
+        self._provision_task(task, restored)
+        self._tasks[pid] = task
+        self.router.register(spec.name, pid)
+        return task
+
+    def _flush_dead_letters(self, task: _ProcessTask) -> None:
+        """Replay buffered envelopes for the task's logical thread.
+
+        Called by :meth:`_start_task` *after* the program is attached to its
+        execution vehicle: a pool slot's idle loop discards anything that
+        arrives before its assignment, so the order matters there.
+        """
+        for envelope in self._dead_letters.pop(task.logical, []):
+            task.inbox.put(envelope)
+
+    def _provision_task(self, task: _ProcessTask, restored: Any) -> None:
+        """Attach an inbox and an execution vehicle (a fresh process here,
+        a borrowed pool slot in the pooled subclass) to ``task``."""
+        task.restored = restored
         task.inbox = self._mp.Queue()
         task.process = self._mp.Process(
             target=_child_main,
-            args=(spec.name, replica, pid, pid, spec.program,
-                  self._shared_params[spec.name], restored, incarnation,
-                  task.inbox, self._outbox, self._epoch),
-            name=pid, daemon=True)
-        self._tasks[pid] = task
-        self.router.register(spec.name, pid)
-        for envelope in self._dead_letters.pop(spec.name, []):
-            task.inbox.put(envelope)
-        return task
+            args=(task.logical, task.replica, task.physical_id, task.physical_id,
+                  task.spec.program, self._shared_params[task.logical], restored,
+                  task.incarnation, task.inbox, self._outbox, self._epoch),
+            name=task.physical_id, daemon=True)
 
     def _start_task(self, task: _ProcessTask) -> None:
         task.status = "running"
         task.process.start()
+        self._flush_dead_letters(task)
 
     # ----------------------------------------------------------- termination
     def _crash(self, pid: str, message: str) -> None:

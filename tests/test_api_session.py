@@ -1,0 +1,207 @@
+"""Fusion sessions and the persistent worker pool underneath them."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import fuse, open_session
+from repro.data.shared import SharedCube
+from repro.scp.pool import PooledProcessBackend, ProcessPool
+from repro.scp.errors import RuntimeStateError
+from repro.scp.runtime import Application
+from repro.scp.thread import ThreadSpec
+
+
+def _receiver_program(ctx):
+    from repro.scp.effects import Recv
+    envelope = yield Recv(port="data")
+    return envelope.payload
+
+
+def _late_sender_program(ctx, *, target, payload, linger):
+    from repro.scp.effects import Send, Sleep
+    yield Send(dst=target, port="data", payload=payload)
+    yield Sleep(linger)
+    return "sent"
+
+
+class TestProcessPool:
+    def test_ensure_and_reuse(self):
+        with ProcessPool() as pool:
+            pool.ensure(2)
+            assert pool.size == 2 and pool.idle == 2
+            assert pool.spawned_processes == 2
+            slot = pool.acquire()
+            assert pool.idle == 1 and slot.busy
+            pool.release(slot)
+            assert pool.idle == 2
+            # Re-acquiring after release must not spawn anything new.
+            pool.acquire()
+            assert pool.spawned_processes == 2
+
+    def test_acquire_grows_on_demand(self):
+        with ProcessPool() as pool:
+            slots = [pool.acquire() for _ in range(3)]
+            assert pool.spawned_processes == 3
+            assert len({slot.name for slot in slots}) == 3
+
+    def test_discarded_slot_is_not_reused(self):
+        with ProcessPool() as pool:
+            slot = pool.acquire()
+            pool.discard(slot)
+            replacement = pool.acquire()
+            assert replacement is not slot
+            assert pool.spawned_processes == 2
+
+    def test_closed_pool_rejects_acquire(self):
+        pool = ProcessPool()
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeStateError):
+            pool.acquire()
+
+
+class TestPooledBackendReuse:
+    def test_runs_reuse_processes_and_match_sequential(self, tiny_cube, fast_config):
+        reference = fuse(tiny_cube, config=fast_config)
+        with ProcessPool() as pool:
+            for _ in range(3):
+                report = fuse(tiny_cube, engine="distributed", config=fast_config,
+                              backend=PooledProcessBackend(pool))
+                np.testing.assert_array_equal(report.composite, reference.composite)
+                assert report.backend == "pooled-process"
+            # manager + 2 workers, spawned exactly once for all three runs.
+            assert pool.spawned_processes == 3
+
+    def test_backend_instance_is_single_use(self, tiny_cube, fast_config):
+        with ProcessPool() as pool:
+            backend = PooledProcessBackend(pool)
+            fuse(tiny_cube, engine="distributed", config=fast_config, backend=backend)
+            with pytest.raises(RuntimeStateError, match="single use"):
+                fuse(tiny_cube, engine="distributed", config=fast_config,
+                     backend=backend)
+
+    def test_dead_letters_reach_late_spawned_pool_replicas(self):
+        # Regression: envelopes parked for a not-yet-live logical thread are
+        # replayed AFTER the pool assignment -- a slot's idle loop discards
+        # anything that arrives before its program is attached.
+        app = Application(name="pooled-deadletter")
+        app.add_thread("sender", _late_sender_program,
+                       params={"target": "ghost", "payload": 7, "linger": 1.5})
+        with ProcessPool() as pool:
+            backend = PooledProcessBackend(pool)
+
+            spawned = []
+
+            def spawner():
+                time.sleep(0.4)
+                spec = ThreadSpec(name="ghost", program=_receiver_program)
+                spawned.append(backend.spawn_thread(spec, replica=0, incarnation=0))
+
+            threading.Thread(target=spawner, daemon=True).start()
+            run = backend.run(app)
+            assert spawned == ["ghost#0"]
+            assert run.return_of("ghost") == 7
+
+
+class TestFusionSession:
+    def test_repeated_fusions_reuse_pool_and_placement(self, tiny_cube, fast_config):
+        reference = fuse(tiny_cube, config=fast_config)
+        with open_session(backend="process", config=fast_config) as session:
+            first = session.fuse(tiny_cube)
+            spawned_after_first = session.spawned_processes
+            second = session.fuse(tiny_cube)
+            np.testing.assert_array_equal(first.composite, reference.composite)
+            np.testing.assert_array_equal(second.composite, reference.composite)
+            # Warm pool: no further spawns, one shared-memory placement.
+            assert session.spawned_processes == spawned_after_first
+            assert session.cubes_placed == 1
+            assert session.runs_completed == 2
+
+    def test_placement_cache_is_bounded_lru(self, tiny_cube, small_cube, fast_config):
+        with open_session(backend="process", config=fast_config,
+                          max_placements=1) as session:
+            session.fuse(tiny_cube)
+            first = session._placements[id(tiny_cube)][1]
+            session.fuse(small_cube)  # evicts (and closes) the first placement
+            assert session.cubes_placed == 1
+            assert first.closed
+            # The evicted cube simply gets re-placed on the next request.
+            report = session.fuse(tiny_cube)
+            assert report.composite.shape == (tiny_cube.rows, tiny_cube.cols, 3)
+
+    def test_max_placements_validated(self):
+        with pytest.raises(ValueError, match="max_placements"):
+            open_session(backend="process", max_placements=0)
+
+    def test_fuse_many_and_distinct_cubes(self, tiny_cube, small_cube, fast_config):
+        with open_session(backend="process", config=fast_config) as session:
+            reports = session.fuse_many([tiny_cube, small_cube])
+            assert len(reports) == 2
+            assert session.cubes_placed == 2
+            shapes = [report.composite.shape[:2] for report in reports]
+            assert shapes == [(tiny_cube.rows, tiny_cube.cols),
+                              (small_cube.rows, small_cube.cols)]
+
+    def test_shared_cube_passthrough(self, tiny_cube, fast_config):
+        shared = SharedCube.from_cube(tiny_cube)
+        try:
+            with open_session(backend="process", config=fast_config) as session:
+                session.fuse(shared)
+                # Caller-owned placements are used as-is, not cached/owned.
+                assert session.cubes_placed == 0
+            assert not shared.closed
+        finally:
+            shared.close()
+
+    def test_per_call_overrides(self, tiny_cube):
+        with open_session(backend="process", workers=2, subcubes=4) as session:
+            report = session.fuse(tiny_cube, workers=1, subcubes=4)
+            assert report.metrics.workers == 1
+
+    def test_engine_and_backend_pinned(self, tiny_cube):
+        with open_session(backend="process", workers=2) as session:
+            with pytest.raises(ValueError, match="cannot override"):
+                session.fuse(tiny_cube, engine="sequential")
+            with pytest.raises(ValueError, match="cannot override"):
+                session.fuse(tiny_cube, backend="sim")
+
+    def test_unknown_session_option(self):
+        with pytest.raises(ValueError, match="unknown session option"):
+            open_session(backend="process", bogus=1)
+
+    def test_unknown_engine_fails_fast(self):
+        with pytest.raises(ValueError, match="registered engines"):
+            open_session(engine="typo")
+
+    def test_closed_session_rejects_fuse(self, tiny_cube):
+        session = open_session(backend="process", workers=2, warm=False)
+        session.close()
+        session.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            session.fuse(tiny_cube)
+
+    def test_sequential_session_runs_inline(self, tiny_cube, fast_config):
+        reference = fuse(tiny_cube, config=fast_config)
+        with open_session(engine="sequential", config=fast_config) as session:
+            report = session.fuse(tiny_cube)
+            np.testing.assert_array_equal(report.composite, reference.composite)
+            assert session.backend == "inline"
+            assert session.spawned_processes == 0
+
+    def test_sim_session_builds_backend_per_run(self, tiny_cube, fast_config):
+        with open_session(backend="sim", config=fast_config) as session:
+            first = session.fuse(tiny_cube)
+            second = session.fuse(tiny_cube)
+            assert first.elapsed_seconds == pytest.approx(second.elapsed_seconds)
+            assert session.spawned_processes == 0
+
+    def test_resilient_session(self, tiny_cube, fast_config):
+        reference = fuse(tiny_cube, config=fast_config)
+        with open_session(engine="resilient", backend="process",
+                          config=fast_config) as session:
+            report = session.fuse(tiny_cube)
+            np.testing.assert_array_equal(report.composite, reference.composite)
+            assert report.resilience is not None
