@@ -1,0 +1,228 @@
+"""Streaming pipeline throughput: cubes/second for a queue of fusions.
+
+The service-shaped question behind the pipeline engine: when N independent
+fusion requests are queued, how many composites per second does the system
+produce?  The serial baseline runs the sequential reference engine request
+after request (one process, whole-cube batches); the streaming path opens a
+``pipeline`` session and pushes the same queue through
+``session.fuse_stream``, overlapping the stages of several cubes on the
+worker slots with a bounded in-flight window.
+
+Acceptance gate (the ISSUE's criterion): on a host with >= 4 usable cores
+the streaming path must deliver **>= 1.3x** the serial cubes/sec.  On
+smaller hosts the numbers are recorded and the assertion is skipped, the
+established policy of the other measured benchmarks.  Composites are
+checked bit-identical across the two paths before any timing is trusted.
+
+The module doubles as a standalone script for the CI smoke job::
+
+    python benchmarks/bench_pipeline_throughput.py --quick --json pipeline_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from _bench_utils import record_report, scaled_extent
+import repro
+from repro.data.hydice import HydiceConfig, HydiceGenerator
+from repro.experiments.measured import available_cpus
+from repro.scp.pool import default_start_method
+
+#: Queued fusion requests per path (the ISSUE's "8 queued fusions").
+QUEUE_DEPTH = 8
+
+#: Worker slots of the full benchmark (CI smoke uses --quick's 2).
+WORKERS = 4
+
+#: Concurrent cubes kept in flight by the streaming path.
+MAX_INFLIGHT = 4
+
+#: Required streaming speed-up on hosts with >= 4 usable cores.
+REQUIRED_SPEEDUP = 1.3
+
+
+def _cubes(*, quick: bool, depth: int) -> List:
+    extent = 48 if quick else scaled_extent(160)
+    bands = 24 if quick else 64
+    return [HydiceGenerator(HydiceConfig(bands=bands, rows=extent, cols=extent,
+                                         seed=60 + index)).generate()
+            for index in range(depth)]
+
+
+@dataclass
+class PipelineThroughputResult:
+    """Measured rates of the two paths plus the judging context."""
+
+    queue_depth: int
+    workers: int
+    max_inflight: int
+    serial_seconds: float
+    pipeline_seconds: float
+    available_cpus: int
+
+    @property
+    def serial_cubes_per_second(self) -> float:
+        return self.queue_depth / self.serial_seconds
+
+    @property
+    def pipeline_cubes_per_second(self) -> float:
+        return self.queue_depth / self.pipeline_seconds
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / self.pipeline_seconds
+
+    def report(self) -> str:
+        return "\n".join([
+            f"{self.queue_depth} queued fusions, {self.workers} worker slots, "
+            f"max_inflight={self.max_inflight} "
+            f"({self.available_cpus} usable CPUs)",
+            f"  serial sequential fuse_many : {self.serial_seconds:8.3f} s "
+            f"({self.serial_cubes_per_second:6.2f} cubes/s)",
+            f"  pipeline fuse_stream        : {self.pipeline_seconds:8.3f} s "
+            f"({self.pipeline_cubes_per_second:6.2f} cubes/s)",
+            f"  streaming speed-up          : {self.speedup:8.2f}x",
+        ])
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "queue_depth": self.queue_depth,
+            "workers": self.workers,
+            "max_inflight": self.max_inflight,
+            "serial_seconds": self.serial_seconds,
+            "pipeline_seconds": self.pipeline_seconds,
+            "serial_cubes_per_second": self.serial_cubes_per_second,
+            "pipeline_cubes_per_second": self.pipeline_cubes_per_second,
+            "speedup": self.speedup,
+            "available_cpus": self.available_cpus,
+        }
+
+
+def measure(*, quick: bool, depth: int = QUEUE_DEPTH) -> PipelineThroughputResult:
+    """Time the same queue of fusions through both paths.
+
+    The serial baseline is the sequential engine -- the strongest
+    single-process implementation, so the measured gain is the streaming
+    overlap, not a weak straw man.  Every streamed composite is checked
+    bit-identical to its serial counterpart.
+    """
+    cubes = _cubes(quick=quick, depth=depth)
+    workers = 2 if quick else WORKERS
+    inflight = 2 if quick else MAX_INFLIGHT
+    method = default_start_method()
+
+    with repro.open_session(engine="sequential", workers=workers,
+                            subcubes=workers * 2) as serial_session:
+        start = time.perf_counter()
+        serial_reports = serial_session.fuse_many(cubes)
+        serial_seconds = time.perf_counter() - start
+
+    with repro.open_session(engine="pipeline", backend=f"process:{method}",
+                            workers=workers, subcubes=workers * 2,
+                            max_inflight=inflight,
+                            max_placements=depth) as session:
+        start = time.perf_counter()
+        pipeline_reports = list(session.fuse_stream(cubes))
+        pipeline_seconds = time.perf_counter() - start
+
+    for serial, streamed in zip(serial_reports, pipeline_reports):
+        if not np.array_equal(serial.composite, streamed.composite):
+            raise AssertionError("streamed composite diverged from the "
+                                 "sequential reference")
+
+    return PipelineThroughputResult(queue_depth=depth, workers=workers,
+                                    max_inflight=inflight,
+                                    serial_seconds=serial_seconds,
+                                    pipeline_seconds=pipeline_seconds,
+                                    available_cpus=available_cpus())
+
+
+def check_throughput(result: PipelineThroughputResult, *,
+                     assert_speedup: bool = True) -> str:
+    """The acceptance gate, core-count gated like the other measured benches."""
+    measured = result.speedup
+    if result.available_cpus < 4:
+        return (f"SKIPPED pipeline-throughput assertion: host exposes "
+                f"{result.available_cpus} usable core(s); >= 4 required "
+                f"(measured {measured:.2f}x)")
+    if not assert_speedup:
+        return (f"INFO (smoke mode): streaming ran {measured:.2f}x the serial "
+                f"rate; the full benchmark asserts >= {REQUIRED_SPEEDUP}x")
+    if measured < REQUIRED_SPEEDUP:
+        # An explicit raise (not `assert`) so the acceptance gate survives -O.
+        raise AssertionError(
+            f"streaming throughput below the gate: {measured:.2f}x < "
+            f"{REQUIRED_SPEEDUP}x over {result.queue_depth} queued fusions")
+    return (f"PASS: streaming delivered {measured:.2f}x the serial cubes/sec "
+            f"(gate {REQUIRED_SPEEDUP}x)")
+
+
+# --------------------------------------------------------------------------
+# pytest entry point
+# --------------------------------------------------------------------------
+
+def test_pipeline_throughput_beats_serial(benchmark):
+    result = measure(quick=False)
+    verdict = check_throughput(result)
+    record_report("Streaming pipeline vs serial fusion throughput",
+                  f"{result.report()}\n{verdict}")
+
+    assert result.serial_seconds > 0 and result.pipeline_seconds > 0
+
+    # Register one representative streamed batch with pytest-benchmark.
+    cubes = _cubes(quick=True, depth=2)
+    with repro.open_session(engine="pipeline", backend="process",
+                            workers=2, subcubes=4, max_inflight=2) as session:
+        list(session.fuse_stream(cubes))  # warm-up: spawn slots, place cubes
+        benchmark.pedantic(lambda: list(session.fuse_stream(cubes)),
+                           rounds=1, iterations=1)
+
+
+# --------------------------------------------------------------------------
+# standalone entry point (CI smoke job artifact)
+# --------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure streaming pipeline vs serial fusion throughput")
+    parser.add_argument("--quick", action="store_true",
+                        help="small cubes and 2 workers (CI smoke mode)")
+    parser.add_argument("--depth", type=int, default=QUEUE_DEPTH,
+                        help="queued fusion requests per path")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the measured results to this JSON file")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail unless the streaming path PASSes the "
+                             "throughput assertion")
+    args = parser.parse_args(argv)
+
+    result = measure(quick=args.quick, depth=args.depth)
+    verdict = check_throughput(result,
+                               assert_speedup=args.strict or not args.quick)
+    print(result.report())
+    print(verdict)
+
+    if args.json_path:
+        payload = result.as_dict()
+        payload["verdict"] = verdict
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json_path}")
+
+    if args.strict and not verdict.startswith("PASS"):
+        print("strict mode: pipeline-throughput assertion did not PASS",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

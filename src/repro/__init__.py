@@ -11,15 +11,22 @@ Quick start -- everything goes through one facade::
     print(report.composite.shape, report.unique_set_size, report.elapsed_seconds)
 
 For repeated workloads, a session keeps the worker-process pool and the
-shared-memory cube placement alive between calls::
+shared-memory cube placement alive between calls; on the streaming
+``pipeline`` engine it also overlaps independent cubes on the shared
+worker slots::
 
     with repro.open_session(backend="process", workers=4) as session:
         reports = session.fuse_many(cubes)
 
+    with repro.open_session(engine="pipeline", backend="process:4") as session:
+        for report in session.fuse_stream(cubes):
+            ...
+
 Engines (``repro.engine_names()``) orchestrate the algorithm -- sequential
 reference, manager/worker distribution, distribution plus computational
-resiliency -- and backends (``repro.backend_names()``) decide where the
-threads execute: a discrete-event simulated cluster (``"sim"``, virtual
+resiliency, streaming tile-pipelined dataflow -- and backends
+(``repro.backend_names()``) decide where the threads execute: a
+discrete-event simulated cluster (``"sim"``, virtual
 time), host threads (``"local"``) or real processes with shared-memory data
 placement (``"process"``, measured wall-clock speed-up).  New engines and
 backends register with :func:`repro.register_engine` /
@@ -50,7 +57,7 @@ from .core import (DistributedPCT, DistributedRunOutcome, FusionResult,
                    ResilientPCT, ResilientRunOutcome, SpectralScreeningPCT)
 from .data import HydiceConfig, HydiceGenerator, HyperspectralCube, generate_cube
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # Unified fusion API

@@ -18,11 +18,13 @@ name        orchestration                                   backends
 sequential  single-process reference pipeline (Section 3)   -- (inline)
 distributed manager/worker on the SCP runtime (Section 4)   sim, local, process
 resilient   distributed + replication/detection/recovery    sim, local, process
+pipeline    streaming tile-pipelined dataflow on pooled     process, local, sim
+            worker slots (:mod:`repro.core.streaming`)
 ==========  ==============================================  ================
 
-All three produce bit-identical composites for the same request -- that is
-the paper's correctness claim, and the cross-engine parity tests assert it
-through this registry.
+All engines produce bit-identical composites for the same request -- that
+is the paper's correctness claim, and the cross-engine parity tests assert
+it through this registry.
 """
 
 from __future__ import annotations
@@ -101,6 +103,19 @@ def _reject_resilience_options(request: FusionRequest, engine: str) -> None:
                 f"use engine='resilient' for replication, attacks and camouflage")
 
 
+def _reject_pipeline_options(request: FusionRequest, engine: str) -> None:
+    """Actionable error when streaming knobs reach a batch engine."""
+    if request.tile_rows is not None:
+        raise ValueError(
+            f"engine {engine!r} runs the steps as one batch and has no "
+            f"streaming tiles; use engine='pipeline' for tile_rows")
+    if request.max_inflight is not None:
+        raise ValueError(
+            f"engine {engine!r} runs its batches serially; max_inflight "
+            f"applies to session streams -- use "
+            f"repro.open_session(engine='pipeline', max_inflight=...)")
+
+
 @register_engine("sequential")
 class SequentialEngine:
     """The single-process reference pipeline, timed on the host.
@@ -115,6 +130,7 @@ class SequentialEngine:
     def run(self, request: FusionRequest,
             backend: Optional[Backend] = None) -> FusionReport:
         _reject_resilience_options(request, self.name)
+        _reject_pipeline_options(request, self.name)
         if request.backend is not None or backend is not None:
             raise ValueError(
                 "engine 'sequential' executes inline and accepts no backend; "
@@ -142,6 +158,7 @@ class DistributedEngine:
     def run(self, request: FusionRequest,
             backend: Optional[Backend] = None) -> FusionReport:
         _reject_resilience_options(request, self.name)
+        _reject_pipeline_options(request, self.name)
         impl = _DistributedPCT(
             request.resolved_config(), cluster=request.cluster,
             backend=backend if backend is not None else request.backend_choice(),
@@ -171,6 +188,7 @@ class ResilientEngine:
 
     def run(self, request: FusionRequest,
             backend: Optional[Backend] = None) -> FusionReport:
+        _reject_pipeline_options(request, self.name)
         if request.protocol is not None:
             raise ValueError(
                 "engine 'resilient' derives its protocol cost model from the "
@@ -193,5 +211,13 @@ class ResilientEngine:
                             resilience=outcome.resilience_report)
 
 
+# Registered at the bottom: the streaming module must see register_engine
+# (defined above) while this module is still initialising.
+from ..core.streaming import PipelineEngine  # noqa: E402
+
+register_engine("pipeline")(PipelineEngine)
+
+
 __all__ = ["FusionEngine", "register_engine", "engine_names", "get_engine",
-           "SequentialEngine", "DistributedEngine", "ResilientEngine"]
+           "SequentialEngine", "DistributedEngine", "ResilientEngine",
+           "PipelineEngine"]

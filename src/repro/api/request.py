@@ -66,6 +66,16 @@ class FusionRequest:
     attack: Optional[AttackScenario] = None
     #: Resilient engine only: periodic camouflage migration period (seconds).
     camouflage_period: Optional[float] = None
+    #: Pipeline engine only: rows per streaming tile in the projection /
+    #: colour-map stage.  ``None`` picks ~2 tiles per worker.  Tiling never
+    #: changes the composite (the eigendecomposition barrier pins one global
+    #: basis), only the streaming granularity.
+    tile_rows: Optional[int] = None
+    #: Batch scheduling only: concurrent cubes a session's
+    #: :meth:`~repro.api.session.FusionSession.fuse_stream` /
+    #: :meth:`~repro.api.session.FusionSession.submit` keep in flight
+    #: (pipeline engine; other engines run their batches serially).
+    max_inflight: Optional[int] = None
 
     # ---------------------------------------------------------- normalisation
     def backend_choice(self, default: str = "sim") -> Union[BackendSpec, Backend]:

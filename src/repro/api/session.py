@@ -20,23 +20,41 @@ Usage::
         for cube in stream:
             report = session.fuse(cube)
 
-``benchmarks/bench_session_reuse.py`` measures the effect: five consecutive
-``session.fuse`` calls against five one-shot ``repro.fuse`` calls on the
-same cube.
+On the ``pipeline`` engine a session additionally *streams*: independent
+cubes overlap on the shared worker slots instead of queueing behind each
+other, with a bounded in-flight window for backpressure::
+
+    with repro.open_session(engine="pipeline", backend="process:4",
+                            max_inflight=4) as session:
+        for report in session.fuse_stream(cubes):
+            serve(report.composite)
+
+``benchmarks/bench_session_reuse.py`` measures the reuse effect (five
+consecutive ``session.fuse`` calls against five one-shot ``repro.fuse``
+calls); ``benchmarks/bench_pipeline_throughput.py`` measures streaming
+throughput (cubes/second for a queue of fusions, pipeline vs serial).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Iterable, List, Optional, Tuple
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Iterable, Iterator, List, Optional
 
+from ..core.streaming import execute_pipeline_request, validate_pipeline_request
 from ..data.cube import HyperspectralCube
 from ..data.shared import SharedCube
 from ..scp.pool import PooledProcessBackend, ProcessPool
 from ..scp.registry import BackendSpec
 from ..scp.runtime import Backend
+from ..scp.stages import PoolStageExecutor, ThreadStageExecutor
 from .engines import get_engine
 from .request import FusionReport, FusionRequest
+
+#: Concurrent cubes a streaming session keeps in flight when the request
+#: does not say otherwise (pipeline engine only; batch engines are serial).
+DEFAULT_MAX_INFLIGHT = 4
 
 #: FusionRequest fields a per-call override may set.  ``engine`` and
 #: ``backend`` are pinned at session open -- they determine what the session
@@ -109,10 +127,23 @@ class FusionSession:
         if self._spec is not None and self._spec.name == "process":
             self._pool = ProcessPool(
                 start_method=start_method or self._spec.variant or None)
-        self._placements: "OrderedDict[int, Tuple[HyperspectralCube, SharedCube]]" \
-            = OrderedDict()
+        #: id(cube) -> [cube, placement, pins]; ``pins`` counts in-flight
+        #: runs using the placement (see :meth:`_place` / :meth:`_unpin`).
+        self._placements: "OrderedDict[int, List[object]]" = OrderedDict()
+        if self._engine.name != "pipeline" and options.get("max_inflight") is not None:
+            raise ValueError(
+                f"engine {engine!r} runs its batches serially; max_inflight "
+                f"needs engine='pipeline'")
         self._closed = False
         self._runs = 0
+        self._lock = threading.Lock()
+        self._run_lock = threading.Lock()
+        # Streaming machinery, created lazily on first use: one stage
+        # executor shared by every in-flight pipeline run, plus the driver
+        # threads of submit()/fuse_stream().
+        self._stage_executor = None
+        self._drivers: Optional[ThreadPoolExecutor] = None
+        self._driver_width: Optional[int] = None
         if warm and self._pool is not None:
             self._pool.ensure(self._warm_target())
 
@@ -140,15 +171,20 @@ class FusionSession:
 
     def _warm_target(self) -> int:
         """Replicas the configured run shape needs: workers x replication,
-        plus the manager."""
-        probe = FusionRequest(cube=None, engine=self.engine,  # type: ignore[arg-type]
-                              backend=self._spec, **self._defaults)
-        config = probe.resolved_config()
+        plus the manager (pipeline stage slots carry no manager)."""
+        config = self._probe_config()
+        if self.engine == "pipeline":
+            return config.partition.workers
         replication = 1
         if self.engine == "resilient":
             resilience = config.resilience
             replication = resilience.replication_level if resilience is not None else 2
         return config.partition.workers * replication + 1
+
+    def _probe_config(self):
+        probe = FusionRequest(cube=None, engine=self.engine,  # type: ignore[arg-type]
+                              backend=self._spec, **self._defaults)
+        return probe.resolved_config()
 
     # ------------------------------------------------------------------ fuse
     def fuse(self, cube: HyperspectralCube, **overrides) -> FusionReport:
@@ -166,11 +202,30 @@ class FusionSession:
         merged = {**self._defaults, **overrides}
         request = FusionRequest(cube=self._place(cube), engine=self.engine,
                                 backend=self._spec, **merged)
-        backend_instance: Optional[Backend] = None
-        if self._pool is not None:
-            backend_instance = PooledProcessBackend(self._pool)
-        report = self._engine.run(request, backend=backend_instance)
-        self._runs += 1
+        try:
+            if self.engine == "pipeline":
+                # Pipeline runs share one long-lived stage executor, so
+                # several concurrent fuse() calls (the streaming scheduler's
+                # drivers) interleave their tile tasks on the same bounded
+                # slot budget.  The engine's option validation applies here
+                # too, even though engine.run() is bypassed.
+                validate_pipeline_request(request, one_shot=False)
+                report = execute_pipeline_request(request, self._stage_runtime(),
+                                                  backend_label=self.backend)
+            else:
+                # One pool serves one program run at a time (its shared
+                # outbox would cross reports), so batch-engine runs are
+                # serialised even when submit() drivers and direct fuse()
+                # callers overlap.
+                with self._run_lock:
+                    backend_instance: Optional[Backend] = None
+                    if self._pool is not None:
+                        backend_instance = PooledProcessBackend(self._pool)
+                    report = self._engine.run(request, backend=backend_instance)
+        finally:
+            self._unpin(cube)
+        with self._lock:
+            self._runs += 1
         return report
 
     def fuse_many(self, cubes: Iterable[HyperspectralCube],
@@ -178,25 +233,145 @@ class FusionSession:
         """Fuse a batch of cubes back to back on the warm resources."""
         return [self.fuse(cube, **overrides) for cube in cubes]
 
+    # ------------------------------------------------------------- streaming
+    def submit(self, cube: HyperspectralCube, **overrides) -> "Future[FusionReport]":
+        """Queue one fusion; returns a future resolving to its report.
+
+        On the pipeline engine up to ``max_inflight`` submissions execute
+        concurrently, overlapping their stages on the shared worker slots;
+        the other engines drain the queue serially (their backends run one
+        fusion at a time).  Futures of an abandoned batch are failed, and
+        their resources reclaimed, by :meth:`close`.
+        """
+        self._check_open()
+        illegal = set(overrides) - _OVERRIDABLE
+        if illegal:
+            raise ValueError(f"cannot override {sorted(illegal)} per call; "
+                             f"open a new session instead")
+        return self._driver_pool(self._max_inflight(overrides)) \
+            .submit(self.fuse, cube, **overrides)
+
+    def fuse_stream(self, cubes: Iterable[HyperspectralCube],
+                    **overrides) -> Iterator[FusionReport]:
+        """Fuse a stream of cubes, yielding reports in input order.
+
+        A bounded window of cubes is kept in flight (``max_inflight``), so
+        arbitrarily long streams run in O(window) memory: the generator
+        blocks the producer instead of buffering the backlog.  Equivalent to
+        ``fuse_many`` report for report -- the engines guarantee the
+        composites are identical either way -- but on the pipeline engine
+        the stream overlaps independent cubes instead of running them
+        serially.
+        """
+        self._check_open()
+        window: "deque[Future[FusionReport]]" = deque()
+        inflight = self._max_inflight(overrides)
+        try:
+            for cube in cubes:
+                window.append(self.submit(cube, **overrides))
+                while len(window) > inflight:
+                    yield window.popleft().result()
+            while window:
+                yield window.popleft().result()
+        finally:
+            for future in window:  # abandoned mid-stream: drop what we can
+                future.cancel()
+
+    def _max_inflight(self, overrides: Optional[dict] = None) -> int:
+        if self.engine != "pipeline":
+            # Backends of the batch engines run one fusion at a time (one
+            # pool outbox per run); the stream still flows, just serially.
+            return 1
+        merged = {**self._defaults, **(overrides or {})}
+        inflight = merged.get("max_inflight")
+        if inflight is None:
+            inflight = DEFAULT_MAX_INFLIGHT
+        if inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        return inflight
+
+    def _stage_runtime(self):
+        """The session-wide stage executor (created on first pipeline run)."""
+        with self._lock:
+            self._check_open()
+            if self._stage_executor is None:
+                workers = max(self._probe_config().partition.workers, 1)
+                if self._pool is not None:
+                    self._stage_executor = PoolStageExecutor(
+                        self._pool, workers=workers, owns_pool=False)
+                else:
+                    self._stage_executor = ThreadStageExecutor(workers=workers)
+            return self._stage_executor
+
+    def _driver_pool(self, width: int) -> ThreadPoolExecutor:
+        """The driver threads, sized by the first stream's ``max_inflight``.
+
+        Thread pools cannot grow after creation, so a later call asking for
+        a *different* width is an error rather than a silent cap -- losing
+        the requested overlap quietly would defeat the engine's purpose.
+        """
+        with self._lock:
+            self._check_open()
+            if self._drivers is None:
+                self._driver_width = width
+                self._drivers = ThreadPoolExecutor(
+                    max_workers=width, thread_name_prefix="fuse-stream")
+            elif width != self._driver_width:
+                raise ValueError(
+                    f"max_inflight is pinned to {self._driver_width} by this "
+                    f"session's first stream; open a new session (or set "
+                    f"max_inflight at open_session) to change it")
+            return self._drivers
+
     # -------------------------------------------------------------- placement
     def _place(self, cube: HyperspectralCube) -> HyperspectralCube:
         """Shared-memory placement with LRU caching (process backends only).
 
-        The cache is bounded by ``max_placements``: runs are serial, so an
-        evicted segment is guaranteed idle and can be released immediately.
+        The cache is bounded by ``max_placements``, but an entry is *pinned*
+        while a run uses it: concurrent stream drivers may overlap distinct
+        cubes, and a segment must never be released under an in-flight run.
+        Eviction therefore happens at unpin time, oldest unpinned first; the
+        cache may transiently exceed its bound while everything is in use.
         """
         if self._pool is None or isinstance(cube, SharedCube):
             return cube
-        entry = self._placements.pop(id(cube), None)
-        if entry is not None and entry[0] is cube:
-            self._placements[id(cube)] = entry  # re-insert: most recent
-            return entry[1]
+        with self._lock:  # concurrent stream drivers share the cache
+            entry = self._placements.pop(id(cube), None)
+            if entry is not None and entry[0] is cube:
+                self._placements[id(cube)] = entry  # re-insert: most recent
+                entry[2] += 1
+                return entry[1]
+        # The O(cube-bytes) copy happens outside the lock so concurrent
+        # drivers placing distinct cubes overlap; double-check on re-entry
+        # (another driver may have placed this very cube meanwhile).
         shared = SharedCube.from_cube(cube)
-        self._placements[id(cube)] = (cube, shared)
-        while len(self._placements) > self._max_placements:
-            _, (_, evicted) = self._placements.popitem(last=False)
-            evicted.close()
-        return shared
+        with self._lock:
+            entry = self._placements.pop(id(cube), None)
+            if entry is None or entry[0] is not cube:
+                entry = [cube, shared, 0]
+            self._placements[id(cube)] = entry
+            entry[2] += 1
+            winner = entry[1]
+        if winner is not shared:
+            shared.close()  # lost the race; release the duplicate segment
+        return winner
+
+    def _unpin(self, cube: HyperspectralCube) -> None:
+        """Release a run's pin and evict over-bound idle placements."""
+        evicted = []
+        with self._lock:
+            entry = self._placements.get(id(cube))
+            if entry is not None and entry[0] is cube:
+                entry[2] -= 1
+            over = len(self._placements) - self._max_placements
+            if over > 0:
+                for key in [k for k, e in self._placements.items() if e[2] <= 0]:
+                    evicted.append(self._placements.pop(key)[1])
+                    over -= 1
+                    if over <= 0:
+                        break
+        for stale in evicted:
+            stale.close()
 
     @property
     def cubes_placed(self) -> int:
@@ -209,13 +384,38 @@ class FusionSession:
             raise RuntimeError("fusion session is closed")
 
     def close(self) -> None:
-        """Release the worker pool and every owned shared-memory segment."""
+        """Release the worker pool and every owned shared-memory segment.
+
+        A stream abandoned mid-flight leaves queued driver work, pending
+        stage futures and slots mid-task behind; everything is drained here
+        in dependency order -- queued drivers cancelled, the stage
+        executor's bounded queues failed and their slots discarded, driver
+        threads joined -- so no queue feeder thread can block interpreter
+        shutdown and no future is left hanging.
+        """
         if self._closed:
             return
         self._closed = True
-        for _, shared in self._placements.values():
+        if self._drivers is not None:
+            # Cancel fusions that have not started; running ones are
+            # unblocked by the stage-executor close below.
+            self._drivers.shutdown(wait=False, cancel_futures=True)
+        if self._stage_executor is not None:
+            self._stage_executor.close()
+        if self._drivers is not None:
+            self._drivers.shutdown(wait=True)
+        # A driver that was already inside _stage_runtime() when _closed was
+        # set may have created the executor after the close above; now that
+        # every driver has been joined, catch and close any late arrival.
+        with self._lock:
+            executor = self._stage_executor
+        if executor is not None and not executor.closed:
+            executor.close()
+        with self._lock:
+            placements = [entry[1] for entry in self._placements.values()]
+            self._placements.clear()
+        for shared in placements:
             shared.close()
-        self._placements.clear()
         if self._pool is not None:
             self._pool.close()
 

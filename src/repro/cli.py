@@ -67,6 +67,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="worker threads (default 4; a spec hint like "
                            "'process:8' applies when this flag is omitted)")
     fuse.add_argument("--subcubes", type=int, default=None)
+    fuse.add_argument("--tile-rows", type=int, default=None,
+                      help="rows per streaming tile (pipeline engine only; "
+                           "default ~2 tiles per worker)")
     fuse.add_argument("--replication", type=int, default=2)
     fuse.add_argument("--attack", default=None,
                       help="logical worker to attack mid-run (resilient engine only)")
@@ -121,6 +124,8 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
     # (the sequential engine rejects an explicit backend).
     backend = args.backend if get_engine(args.engine).uses_backend else None
     options = {}
+    if args.tile_rows is not None:
+        options["tile_rows"] = args.tile_rows
     if args.engine == "resilient":
         options["replication"] = args.replication
         if args.attack:
@@ -138,7 +143,11 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         "composite_shape": str(result.composite.shape),
     }
     if report.engine != "sequential":
-        label = ("virtual_seconds" if BackendSpec.parse(args.backend).name == "sim"
+        # The pipeline engine measures wall clock on every spec (it degrades
+        # "sim" to host threads); only the batch engines simulate time.
+        label = ("virtual_seconds"
+                 if report.engine != "pipeline"
+                 and BackendSpec.parse(args.backend).name == "sim"
                  else "wall_seconds")
         summary[label] = f"{report.elapsed_seconds:.2f}"
     label_map = cube.metadata.get("target_mask")

@@ -1,0 +1,353 @@
+"""Streaming tile-pipelined fusion: the ``pipeline`` engine.
+
+Every other engine materialises the whole cube and runs the eight algorithm
+steps as a barrier-synchronised batch, so peak memory is O(cube) per request
+and a queue of requests executes strictly serially.  The paper's algorithm
+is, however, embarrassingly parallel across row blocks everywhere except two
+small global reductions, which suggests a *staged dataflow* instead:
+
+.. code-block:: text
+
+    tiles ──▶ screen ──▶ [merge + mean]  ──▶ covariance ──▶ [combine + eig
+              (par)       (barrier)           partials        + stretch]
+                                              (par)           (barrier)
+                                                                 │
+              reassemble ◀── project + colour-map (par) ◀────────┘
+
+Each parallel stage is a set of pure *stage tasks* executed on borrowed
+:class:`~repro.scp.pool.ProcessPool` slots through a
+:class:`~repro.scp.stages.PoolStageExecutor` (or host threads for the
+``local``/``sim`` backend specs).  The two barriers are tiny: merging unique
+sets, a ``bands x bands`` eigen-decomposition and the colour-stretch
+statistics -- all independent of image size.  Because the executor bounds
+the number of tasks in flight, several independent fusions can stream
+through one executor concurrently (that is what
+:meth:`repro.api.session.FusionSession.fuse_stream` does) with bounded
+memory and no cross-talk.
+
+Bit-identity
+------------
+The pipeline engine produces *bit-identical* composites to the sequential
+reference for the same :class:`~repro.api.request.FusionRequest`:
+
+* screening uses the exact sub-cube decomposition of the request's
+  partition configuration (``config.partition.effective_subcubes``) and the
+  per-block unique sets are merged in block order -- the same greedy pass,
+  in the same order, as :class:`~repro.core.pipeline.SpectralScreeningPCT`;
+* covariance partials follow :func:`~repro.core.steps.statistics.
+  partition_pixel_matrix`'s split of the merged unique set and are combined
+  in partition order (float summation order preserved);
+* the eigen-decomposition barrier pins one global basis and one set of
+  colour-stretch constants, after which projection and colour mapping are
+  per-pixel operations -- any row tiling of step 7/8 reassembles to the
+  untiled result exactly.  ``tile_rows`` therefore only tunes streaming
+  granularity, never the output, which is what the tiling property tests
+  assert for arbitrary cube shapes and tilings.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.metrics import RunMetrics
+from ..config import FusionConfig, ScreeningConfig
+from ..data.cube import HyperspectralCube
+from ..data.shared import SharedCube
+from ..scp.pool import PooledProcessBackend, ProcessPool
+from ..scp.registry import BackendSpec
+from ..scp.runtime import Backend
+from ..scp.stages import PoolStageExecutor, ThreadStageExecutor
+from .partition import (SubcubeSpec, decompose, extract_subcube,
+                        reassemble_composite, subcube_pixel_matrix)
+from .pipeline import FusionResult, SpectralScreeningPCT
+from .steps.colormap import color_map, component_statistics
+from .steps.screening import merge_unique_sets, screen_unique_set
+from .steps.statistics import (covariance_matrix, covariance_sum, mean_vector,
+                               partition_pixel_matrix)
+from .steps.transform import PCTBasis, project, project_cube_block, transformation_matrix
+
+#: Backend spec names executed on pool processes vs host threads.
+_PROCESS_SPECS = ("process",)
+_THREAD_SPECS = ("local", "sim")
+
+
+# ---------------------------------------------------------------------------
+# Tile planning
+# ---------------------------------------------------------------------------
+
+def plan_tiles(rows: int, tile_rows: int) -> List[SubcubeSpec]:
+    """Split ``rows`` scene rows into contiguous tiles of ~``tile_rows`` rows.
+
+    Delegates to :func:`~repro.core.partition.decompose`, so tiles inherit
+    its invariants: contiguous, non-overlapping, exhaustive, sizes differing
+    by at most one row.
+    """
+    if rows < 1:
+        raise ValueError("rows must be >= 1")
+    if tile_rows < 1:
+        raise ValueError(f"tile_rows must be >= 1, got {tile_rows}")
+    count = min(rows, max(1, math.ceil(rows / tile_rows)))
+    return decompose(rows, count)
+
+
+def default_tile_rows(rows: int, workers: int) -> int:
+    """Default streaming granularity: ~2 tiles per worker, at least one row.
+
+    Mirrors the paper's Figure-5 observation that 2-3x more work units than
+    workers overlaps communication with computation without drowning in
+    per-task overhead.
+    """
+    return max(1, math.ceil(rows / max(2 * workers, 1)))
+
+
+# ---------------------------------------------------------------------------
+# Stage tasks (pure module-level functions: picklable, deterministic,
+# safely re-runnable after a slot crash)
+# ---------------------------------------------------------------------------
+
+def screen_tile(cube: HyperspectralCube, spec: SubcubeSpec,
+                screening: ScreeningConfig) -> np.ndarray:
+    """Stage 1 task: spectral screening of one sub-cube block."""
+    block_pixels = subcube_pixel_matrix(extract_subcube(cube, spec))
+    return screen_unique_set(block_pixels, screening.angle_threshold,
+                             max_unique=screening.max_unique,
+                             sample_stride=screening.sample_stride)
+
+
+def covariance_partial(part: np.ndarray, mean: np.ndarray) -> np.ndarray:
+    """Stage 2 task: covariance sum of one unique-set partition."""
+    return covariance_sum(part, mean)
+
+
+def project_tile(cube: HyperspectralCube, spec: SubcubeSpec, basis: PCTBasis,
+                 n_components: int, normalize: bool, stretch_mean: np.ndarray,
+                 stretch_std: np.ndarray):
+    """Stage 3 task: projection + colour mapping of one output tile."""
+    components = project_cube_block(extract_subcube(cube, spec),
+                                    basis)[..., :n_components]
+    composite = color_map(components, normalize=normalize,
+                          mean=stretch_mean, std=stretch_std)
+    return components, composite
+
+
+# ---------------------------------------------------------------------------
+# The staged DAG driver
+# ---------------------------------------------------------------------------
+
+def _gather(futures: Sequence) -> List:
+    """Await stage futures in submission order, surfacing the first error."""
+    return [future.result() for future in futures]
+
+
+def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
+                 n_components: int = 3, full_projection: bool = True,
+                 tile_rows: Optional[int] = None) -> FusionResult:
+    """Drive one cube through the staged screen/statistics/transform DAG.
+
+    ``executor`` is any stage executor (:class:`PoolStageExecutor` or
+    :class:`ThreadStageExecutor`); several concurrent ``run_pipeline`` calls
+    may share one executor, which is how independent cubes overlap.
+    """
+    reference = SpectralScreeningPCT(config, n_components=n_components,
+                                     full_projection=full_projection)
+    screening = config.screening
+    workers = max(config.partition.workers, 1)
+    subcubes = min(config.partition.effective_subcubes, cube.rows)
+
+    # Stage 1: per-sub-cube screening (parallel), merged in block order.
+    screen_futures = [executor.submit("screen", screen_tile, cube, spec, screening)
+                      for spec in decompose(cube.rows, subcubes)]
+    unique = merge_unique_sets(_gather(screen_futures), screening.angle_threshold,
+                               max_unique=screening.max_unique,
+                               rescreen=screening.rescreen_merge)
+
+    # Barrier A: global mean, then the unique-set partition of step 4.
+    mean = mean_vector(unique)
+    parts = partition_pixel_matrix(unique, workers)
+
+    # Stage 2: per-partition covariance sums (parallel), combined in order.
+    cov_futures = [executor.submit("covariance", covariance_partial, part, mean)
+                   for part in parts]
+    covariance = covariance_matrix(_gather(cov_futures),
+                                   total_pixels=unique.shape[0])
+
+    # Barrier B: eigen-decomposition and global colour-stretch statistics.
+    rank = cube.bands if full_projection else n_components
+    basis = transformation_matrix(covariance, mean, n_components=rank)
+    stats_basis = PCTBasis(eigenvalues=basis.eigenvalues,
+                           components=basis.components[:3], mean=basis.mean)
+    stretch_mean, stretch_std = component_statistics(project(unique, stats_basis))
+
+    # Stage 3: per-tile projection + colour mapping (parallel), reassembled.
+    effective_tile_rows = (tile_rows if tile_rows is not None
+                           else default_tile_rows(cube.rows, workers))
+    tiles = plan_tiles(cube.rows, effective_tile_rows)
+    normalize = config.colormap.normalize_components
+    tile_futures = [executor.submit("project", project_tile, cube, spec, basis,
+                                    n_components, normalize, stretch_mean,
+                                    stretch_std)
+                    for spec in tiles]
+    blocks = _gather(tile_futures)
+    components = reassemble_composite(
+        [(spec, block[0]) for spec, block in zip(tiles, blocks)],
+        cube.rows, cube.cols, channels=n_components)
+    composite = reassemble_composite(
+        [(spec, block[1]) for spec, block in zip(tiles, blocks)],
+        cube.rows, cube.cols, channels=3)
+
+    metadata = {
+        "mode": "pipeline",
+        "angle_threshold": screening.angle_threshold,
+        "n_components": n_components,
+        "bands": cube.bands,
+        "rows": cube.rows,
+        "cols": cube.cols,
+        "stretch_mean": stretch_mean,
+        "stretch_std": stretch_std,
+        "tile_rows": effective_tile_rows,
+        "tiles": len(tiles),
+        "stage_tasks": len(screen_futures) + len(cov_futures) + len(tile_futures),
+    }
+    return FusionResult(composite=composite, components=components, basis=basis,
+                        unique_set_size=int(unique.shape[0]),
+                        phase_flops=reference.estimate_phase_flops(cube, unique.shape[0]),
+                        metadata=metadata)
+
+
+# ---------------------------------------------------------------------------
+# Executor resolution and the registered engine
+# ---------------------------------------------------------------------------
+
+def make_stage_executor(spec: BackendSpec, *, workers: int,
+                        start_method: Optional[str] = None):
+    """Build a stage executor for a parsed backend spec.
+
+    ``process`` specs get a private :class:`~repro.scp.pool.ProcessPool`
+    (pre-warmed to ``workers`` slots) wrapped in a
+    :class:`PoolStageExecutor` that owns it; ``local`` and ``sim`` specs
+    run stages on host threads -- the simulated backend has no meaningful
+    virtual clock for a streaming dataflow, so the engine degrades it to
+    measured wall clock on threads, with identical output.
+    """
+    if spec.name in _PROCESS_SPECS:
+        pool = ProcessPool(start_method=start_method or spec.variant or None,
+                           warm=workers)
+        return PoolStageExecutor(pool, workers=workers, owns_pool=True)
+    if spec.name in _THREAD_SPECS:
+        return ThreadStageExecutor(workers=workers)
+    raise ValueError(
+        f"engine 'pipeline' cannot stream on backend {spec.name!r}; "
+        f"supported backend specs: {', '.join(_PROCESS_SPECS + _THREAD_SPECS)}")
+
+
+def validate_pipeline_request(request, *, one_shot: bool) -> None:
+    """Reject knobs the pipeline cannot honour, on every entry path.
+
+    Shared by :meth:`PipelineEngine.run` and the session's streaming branch
+    (which bypasses the engine), so an ignored option can never differ in
+    behaviour between ``repro.fuse`` and ``session.fuse``.  ``one_shot``
+    additionally rejects ``max_inflight``: a single run has no stream for
+    it to schedule, whereas session-built requests legitimately carry it.
+    """
+    from ..api.engines import _reject_resilience_options
+
+    _reject_resilience_options(request, "pipeline")
+    if one_shot and request.max_inflight is not None:
+        raise ValueError(
+            "max_inflight schedules concurrent cubes across a session "
+            "stream, which a one-shot run does not have; use "
+            "repro.open_session(engine='pipeline', "
+            "max_inflight=...).fuse_stream(cubes)")
+    if request.protocol is not None:
+        raise ValueError("engine 'pipeline' measures wall clock and has no "
+                         "protocol cost model; protocol= applies to the "
+                         "simulated backend of the other engines")
+
+
+def execute_pipeline_request(request, executor, *, backend_label: str):
+    """Run one :class:`~repro.api.request.FusionRequest` on ``executor``.
+
+    Shared by :class:`PipelineEngine` (one-shot, private executor) and
+    :class:`~repro.api.session.FusionSession` (streaming, one executor for
+    every in-flight cube).  Returns the unified
+    :class:`~repro.api.request.FusionReport`.
+    """
+    from ..api.request import FusionReport
+
+    config = request.resolved_config()
+    start = time.perf_counter()
+    result = run_pipeline(request.cube, config, executor,
+                          n_components=request.n_components,
+                          full_projection=request.full_projection,
+                          tile_rows=request.tile_rows)
+    elapsed = time.perf_counter() - start
+    metrics = RunMetrics(elapsed_seconds=elapsed, backend=backend_label,
+                         workers=config.partition.workers,
+                         subcubes=config.partition.effective_subcubes)
+    return FusionReport(result=result, metrics=metrics, engine="pipeline",
+                        backend=backend_label)
+
+
+class PipelineEngine:
+    """Streaming tile-pipelined fusion on pooled processes or host threads.
+
+    Registered as ``"pipeline"`` by :mod:`repro.api.engines`.  One-shot runs
+    build (and tear down) a private stage executor; sessions keep a shared
+    executor alive instead and bypass :meth:`run` -- see
+    :meth:`repro.api.session.FusionSession.fuse_stream`.
+    """
+
+    uses_backend = True
+
+    def run(self, request, backend: Optional[Backend] = None):
+        validate_pipeline_request(request, one_shot=True)
+        config = request.resolved_config()
+        workers = max(config.partition.workers, 1)
+
+        owned_executor = None
+        placed: Optional[SharedCube] = None
+        if backend is not None:
+            if isinstance(backend, PooledProcessBackend):
+                executor = PoolStageExecutor(backend._pool, workers=workers,
+                                             owns_pool=False)
+                owned_executor = executor
+                label = backend.kind
+                uses_processes = True
+            else:
+                raise ValueError(
+                    "engine 'pipeline' executes stage tasks, not SCP programs; "
+                    "pass a backend spec (e.g. 'process:8') or a "
+                    "PooledProcessBackend, not a bare backend instance")
+        else:
+            spec = request.backend_choice(default="process")
+            if isinstance(spec, Backend):  # an instance smuggled through request
+                raise ValueError(
+                    "engine 'pipeline' executes stage tasks, not SCP programs; "
+                    "pass a backend spec string such as 'process:8'")
+            executor = make_stage_executor(spec, workers=workers)
+            owned_executor = executor
+            label = str(spec)
+            uses_processes = spec.name in _PROCESS_SPECS
+        try:
+            working = request
+            if uses_processes and not isinstance(request.cube, SharedCube):
+                # Place the samples in shared memory once, so stage tasks
+                # ship a tiny handle instead of pickling the cube per task.
+                placed = SharedCube.from_cube(request.cube)
+                working = request.replace(cube=placed)
+            return execute_pipeline_request(working, executor, backend_label=label)
+        finally:
+            if owned_executor is not None:
+                owned_executor.close()
+            if placed is not None:
+                placed.close()
+
+
+__all__ = ["PipelineEngine", "run_pipeline", "execute_pipeline_request",
+           "validate_pipeline_request", "make_stage_executor", "plan_tiles",
+           "default_tile_rows", "screen_tile", "covariance_partial",
+           "project_tile"]

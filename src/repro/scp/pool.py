@@ -65,14 +65,21 @@ def default_start_method() -> str:
 def _pool_child_main(slot_name: str, inbox, outbox) -> None:
     """Idle loop of a pool slot: wait for assignments, interpret, repeat.
 
-    Anything on the inbox that is not an assignment or the exit sentinel --
-    a stale envelope or shutdown marker from a program that already ended --
-    is dropped, so leftovers of a previous run can never leak into the next.
+    A slot accepts two kinds of work: full SCP *program* assignments
+    (interpreted with the shared effect interpreter, exactly as the one-shot
+    process backend does) and short *stage tasks* from the streaming
+    pipeline engine (:mod:`repro.scp.stages`).  Anything else on the inbox
+    -- a stale envelope or shutdown marker from a program that already ended
+    -- is dropped, so leftovers of a previous run can never leak into the
+    next.
     """
+    from .stages import try_run_stage
     while True:
         item = inbox.get()
         if isinstance(item, str) and item == _POOL_EXIT:
             return
+        if try_run_stage(item, outbox):
+            continue
         if not (isinstance(item, tuple) and len(item) == 10 and item[0] == _ASSIGN):
             continue
         (_, logical, replica, physical_id, node, program, params,
@@ -148,8 +155,14 @@ class ProcessPool:
             while sum(1 for slot in self._slots if slot.alive) < count:
                 self._spawn_slot()
 
-    def acquire(self) -> _PoolSlot:
-        """Borrow an idle slot, spawning a fresh one when none is free."""
+    def acquire(self, *, allow_spawn: bool = True) -> Optional[_PoolSlot]:
+        """Borrow an idle slot, spawning a fresh one when none is free.
+
+        ``allow_spawn=False`` returns ``None`` instead of spawning -- used
+        by callers on threads where forking a new slot process would race
+        other threads' queue feeders (the stage executor's crash-retry
+        path defers until a warm slot frees up instead).
+        """
         with self._lock:
             self._check_open()
             self._prune_dead()
@@ -158,6 +171,8 @@ class ProcessPool:
                     slot.busy = True
                     slot.assignments += 1
                     return slot
+            if not allow_spawn:
+                return None
             slot = self._spawn_slot()
             slot.busy = True
             slot.assignments += 1

@@ -1,0 +1,580 @@
+"""Stage-task execution on borrowed pool slots: the streaming engine's motor.
+
+The SCP backends run *programs* -- long-lived effectful generators wired
+into a manager/worker application.  The streaming pipeline engine
+(:mod:`repro.core.streaming`) needs something much smaller: fire thousands
+of short, pure *stage tasks* (screen this tile, accumulate this covariance
+partial, colour-map that tile) at a bounded set of worker processes and
+collect their results as futures, with several independent fusions in
+flight at once.
+
+This module provides that layer:
+
+* a tiny child-side task protocol (:func:`try_run_stage`) the pool's idle
+  loop understands alongside program assignments, so stage tasks execute on
+  the very same long-lived :class:`~repro.scp.pool.ProcessPool` slots the
+  session backends borrow;
+* :class:`PoolStageExecutor` -- the parent-side dispatcher: it borrows a
+  slot per task, routes the pool's shared outbox back to per-task futures,
+  sweeps for slots that died mid-task (SIGKILL, OOM) and transparently
+  re-dispatches the task on a fresh slot, and enforces *backpressure*: at
+  most ``workers`` tasks are in flight and further ``submit`` calls block,
+  which is what bounds the memory of a streaming fusion to O(tiles in
+  flight) instead of O(cube);
+* :class:`ThreadStageExecutor` -- the same interface on host threads, used
+  by the ``local`` and ``sim`` backend specs (no pickling, GIL-bound
+  compute but identical results);
+* a typed error taxonomy (:class:`StageError`, :class:`StageCrashError`)
+  so a stream either completes or fails cleanly -- never hangs.
+
+Determinism note: stage tasks must be *pure* module-level functions of
+their arguments.  That is what makes crash recovery invisible -- a task
+re-run on a fresh slot returns bit-identical results -- and what the crash
+matrix tests assert stage by stage.
+
+Crash-safe result transport
+---------------------------
+Multiprocessing queues cannot survive a SIGKILLed writer: a process killed
+mid-``put`` leaves a partial pickle frame that wedges every later read,
+and one killed between ``send_bytes`` and releasing the queue's shared
+write-lock leaks a non-robust POSIX semaphore that blocks every *other*
+process's feeder forever (both failure modes were observed under the
+crash-matrix tests; the second is why ``concurrent.futures`` declares a
+pool "broken" on any worker death).  Stage results therefore never touch
+a queue at all: the child pickles the result (or the error text) to a
+*spool file* on tmpfs and commits it with an atomic ``os.rename``, and
+the parent's router discovers completions by scanning the spool
+directory.  A kill either commits a complete file or leaves nothing, no
+lock is shared on the result path, and the router can never block -- which
+is what makes the "completes or fails typed, never hangs" contract hold.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..logging_utils import get_logger
+from .errors import SCPError
+
+_LOG = get_logger("scp.stages")
+
+#: First element of a stage-task tuple deposited on a slot's inbox.
+_STAGE_ASSIGN = "__scp_stage_assign__"
+
+#: Spool-file suffixes a finished task commits (atomic rename) and the
+#: router scans for.
+_RESULT_SUFFIX = ".result"
+_ERROR_SUFFIX = ".error"
+
+#: Seconds a slot process may be observed dead without a committed spool
+#: file before its task is re-dispatched (a result renamed just before
+#: death is picked up by the scan within one poll tick).
+_DEATH_CONFIRM_SECONDS = 0.25
+
+
+def _spool_root() -> Optional[str]:
+    """RAM-backed directory for result spool files where the OS has one."""
+    return "/dev/shm" if os.path.isdir("/dev/shm") else None
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+class StageError(SCPError):
+    """A stage task failed and the failure is attributable to the task.
+
+    Raised out of the task's future when the stage function itself raised
+    (deterministic program error -- retrying would fail identically) or when
+    the executor was closed underneath a pending task.
+    """
+
+    def __init__(self, stage: str, message: str) -> None:
+        super().__init__(f"stage {stage!r}: {message}")
+        self.stage = stage
+
+
+class StageCrashError(StageError):
+    """A stage task's worker process died and the retry budget is exhausted.
+
+    Distinct from :class:`StageError` so callers can tell "my stage function
+    is buggy" from "the execution substrate kept dying under me".
+    """
+
+
+def _commit_spool_file(spool_dir: str, name: str, payload: bytes) -> None:
+    """Write ``payload`` and atomically rename into place (the commit)."""
+    final = os.path.join(spool_dir, name)
+    partial = final + ".tmp"
+    with open(partial, "wb") as fh:
+        fh.write(payload)
+    os.rename(partial, final)
+
+
+def try_run_stage(item: Any, outbox) -> bool:
+    """Child-side protocol: execute ``item`` if it is a stage task.
+
+    Called from the pool slot's idle loop for every inbox item.  Returns
+    True when ``item`` was a stage task (handled here, loop continues),
+    False when it is something else (a program assignment, a stale
+    envelope) the caller should interpret itself.  ``outbox`` is unused --
+    results travel through spool files precisely so no queue is shared
+    with processes that may be SIGKILLed (see the module docstring).
+
+    The stage function runs under a blanket exception guard: a failing task
+    commits an error file and leaves the slot healthy and reusable, so one
+    poisoned tile cannot take a worker down with it.
+    """
+    if not (isinstance(item, tuple) and len(item) == 7 and item[0] == _STAGE_ASSIGN):
+        return False
+    _, task_id, attempt, spool_dir, fn, args, kwargs = item
+    stem = f"{task_id}-{attempt}"
+    try:
+        try:
+            result = fn(*args, **kwargs)
+        except Exception as err:  # noqa: BLE001 - task errors reported, not fatal
+            _commit_spool_file(spool_dir, stem + _ERROR_SUFFIX,
+                               repr(err).encode("utf-8", "replace"))
+            return True
+        _commit_spool_file(spool_dir, stem + _RESULT_SUFFIX,
+                           pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # spool dir gone: the executor was closed underneath
+        pass           # this task; keep the slot alive regardless
+    return True
+
+
+class _PendingStage:
+    """Parent-side record of one in-flight stage task."""
+
+    __slots__ = ("task_id", "stage", "fn", "args", "kwargs", "future",
+                 "slot", "attempt", "first_seen_dead")
+
+    def __init__(self, task_id: int, stage: str, fn: Callable,
+                 args: Tuple, kwargs: Dict) -> None:
+        self.task_id = task_id
+        self.stage = stage
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.future: Future = Future()
+        self.slot = None
+        self.attempt = 0
+        self.first_seen_dead: Optional[float] = None
+
+
+class PoolStageExecutor:
+    """Dispatch stage tasks onto :class:`~repro.scp.pool.ProcessPool` slots.
+
+    Parameters
+    ----------
+    pool:
+        The slot pool tasks borrow from.  The executor owns the pool's
+        shared outbox for its lifetime (its router thread drains it), so a
+        pool must not serve a :class:`~repro.scp.pool.PooledProcessBackend`
+        run and a live stage executor at the same time -- the session layer
+        guarantees this by pinning one engine per session.
+    workers:
+        Maximum stage tasks in flight; the bounded stage queue.  A
+        ``submit`` beyond it blocks the caller (backpressure) until a slot
+        frees up.
+    max_retries:
+        How many times a task whose slot *process died* is re-dispatched on
+        a fresh slot before its future fails with :class:`StageCrashError`.
+        Deterministic task errors are never retried.
+    owns_pool:
+        When True the pool is closed together with the executor (the
+        one-shot engine path); sessions keep their pool alive across
+        executors and pass False.
+    """
+
+    def __init__(self, pool, *, workers: int = 4, max_retries: int = 2,
+                 owns_pool: bool = False, poll_interval: float = 0.002) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self._pool = pool
+        self._workers = workers
+        self._max_retries = max_retries
+        self._owns_pool = owns_pool
+        self._poll_interval = poll_interval
+        self._slots_free = threading.BoundedSemaphore(workers)
+        self._pending: Dict[int, _PendingStage] = {}
+        #: Crash-retry tasks waiting for a warm slot (see _flush_deferred).
+        self._deferred: list = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+        self._closed = False
+        self._spool = tempfile.mkdtemp(prefix="scp-stages-", dir=_spool_root())
+        # Pre-spawn the slot budget from the constructing thread: steady-state
+        # dispatches then find idle slots instead of forking from driver or
+        # router threads.  (Forking there is analysed safe for what the child
+        # touches -- its own fresh inbox and the outbox, whose parent-side
+        # thread locks are only ever used by putting processes -- but not
+        # forking at all is cheaper to reason about; only the crash-retry
+        # respawn still forks off-thread.)
+        if not pool.closed:
+            pool.ensure(workers)
+        #: Tasks re-dispatched after their slot died (observable chaos metric).
+        self.retries = 0
+        self._kill_requests: Dict[str, int] = {}
+        self._router = threading.Thread(target=self._route, daemon=True,
+                                        name="stage-router")
+        self._router.start()
+
+    # ------------------------------------------------------------------ API
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def submit(self, stage: str, fn: Callable, *args, **kwargs) -> Future:
+        """Queue one stage task; returns its future.
+
+        Blocks while ``workers`` tasks are already in flight -- that is the
+        bounded stage queue providing backpressure to the tile producers.
+        """
+        while not self._slots_free.acquire(timeout=0.1):
+            if self._closed:
+                raise StageError(stage, "stage executor is closed")
+        record = _PendingStage(next(self._ids), stage, fn, args, kwargs)
+        with self._lock:
+            # Re-checked under the lock: close() drains _pending under the
+            # same lock after setting _closed, so a racing submit either
+            # lands before the drain (and is failed by it) or sees _closed
+            # here -- a task can never be registered with no router left to
+            # resolve it.
+            if self._closed:
+                self._slots_free.release()
+                raise StageError(stage, "stage executor is closed")
+            self._pending[record.task_id] = record
+        try:
+            self._dispatch(record, self._pool.acquire())
+        except Exception:
+            with self._lock:
+                self._pending.pop(record.task_id, None)
+            self._slots_free.release()
+            raise
+        return record.future
+
+    def inject_kill(self, stage: str, kills: int = 1) -> None:
+        """Chaos hook: SIGKILL the slot of the next ``kills`` tasks of
+        ``stage`` right after dispatch, exactly as a mid-stage OOM kill or
+        node loss would.  The crash-matrix tests drive every pipeline stage
+        through this and assert the stream still completes bit-identically
+        (retry budget permitting) or fails with a typed error."""
+        with self._lock:
+            self._kill_requests[stage] = self._kill_requests.get(stage, 0) + kills
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, record: _PendingStage, slot) -> None:
+        with self._lock:
+            if self._pending.get(record.task_id) is not record:
+                # close() failed this task between registration and dispatch;
+                # hand the unused slot straight back.
+                abandoned = True
+            else:
+                abandoned = False
+                record.slot = slot
+                record.first_seen_dead = None
+                record.attempt += 1
+            chaos = self._kill_requests.get(record.stage, 0)
+            if chaos > 0 and not abandoned:
+                self._kill_requests[record.stage] = chaos - 1
+        if abandoned:
+            self._pool.release(slot)
+            return
+        slot.inbox.put((_STAGE_ASSIGN, record.task_id, record.attempt,
+                        self._spool, record.fn, record.args, record.kwargs))
+        if chaos > 0:
+            slot.process.kill()
+
+    # --------------------------------------------------------------- router
+    def _route(self) -> None:
+        """Scan the spool for committed results; sweep for dead slots.
+
+        Pure directory polling: the router shares no lock and reads no
+        queue that a SIGKILLed worker could corrupt, so it can never block
+        (the property the crash matrix leans on).
+        """
+        while not self._closed:
+            if self._scan_spool():
+                self._flush_deferred()  # the resolves just freed slots
+            self._sweep()
+            # Tight polling only while work is in flight; an idle session's
+            # router must not spin the CPU.
+            time.sleep(self._poll_interval if self._pending else 0.05)
+
+    def _scan_spool(self) -> int:
+        """Resolve every committed spool file; returns how many."""
+        try:
+            names = os.listdir(self._spool)
+        except OSError:  # spool removed by close()
+            return 0
+        resolved = 0
+        for name in names:
+            if name.endswith(_RESULT_SUFFIX):
+                error = False
+            elif name.endswith(_ERROR_SUFFIX):
+                error = True
+            else:
+                continue  # an in-progress .tmp
+            stem = name.rsplit(".", 1)[0]
+            try:
+                task_id, attempt = (int(part) for part in stem.split("-"))
+            except ValueError:  # pragma: no cover - foreign file in the spool
+                continue
+            self._resolve(task_id, attempt, os.path.join(self._spool, name),
+                          error=error)
+            resolved += 1
+        return resolved
+
+    def _resolve(self, task_id: int, attempt: int, path: str, *,
+                 error: bool) -> None:
+        with self._lock:
+            record = self._pending.get(task_id)
+            if record is None or attempt != record.attempt:
+                # A stale file from an attempt whose slot was discarded
+                # (e.g. killed right after committing, then retried): the
+                # retry's file is the one that counts.
+                _unlink_quietly(path)
+                return
+            del self._pending[task_id]
+        self._pool.release(record.slot)
+        self._slots_free.release()
+        try:
+            with open(path, "rb") as fh:
+                payload = fh.read()
+            if error:
+                record.future.set_exception(StageError(
+                    record.stage, payload.decode("utf-8", "replace")))
+            else:
+                record.future.set_result(pickle.loads(payload))
+        except Exception as err:  # the rename committed, so this is abnormal
+            record.future.set_exception(StageCrashError(
+                record.stage, f"could not read spooled result: {err!r}"))
+        finally:
+            _unlink_quietly(path)
+
+    def _sweep(self) -> None:
+        """Detect slots that died mid-task; retry or fail their tasks."""
+        now = time.monotonic()
+        confirmed = []
+        with self._lock:
+            for record in self._pending.values():
+                slot = record.slot
+                if slot is None or slot.process.exitcode is None:
+                    record.first_seen_dead = None
+                    continue
+                if record.first_seen_dead is None:
+                    record.first_seen_dead = now
+                elif now - record.first_seen_dead >= _DEATH_CONFIRM_SECONDS:
+                    confirmed.append(record)
+        for record in confirmed:
+            self._pool.discard(record.slot)
+            if record.attempt <= self._max_retries:
+                self.retries += 1
+                _LOG.warning("stage %r task %d lost its slot (attempt %d); "
+                             "re-dispatching", record.stage, record.task_id,
+                             record.attempt)
+                with self._lock:
+                    record.slot = None
+                    record.first_seen_dead = None
+                    self._deferred.append(record)
+            else:
+                self._fail(record, StageCrashError(
+                    record.stage,
+                    f"worker process died {record.attempt} time(s) running "
+                    f"task {record.task_id}; retry budget exhausted"))
+        self._flush_deferred()
+
+    def _flush_deferred(self) -> None:
+        """Re-dispatch crash-retry tasks onto warm slots as they free up.
+
+        Run on the router thread, which must not *fork* new slot processes
+        while driver threads are mid-put on other queues (a forked child can
+        inherit feeder state that loses its first assignment -- observed as
+        a wedged retry slot).  Retries therefore wait for an existing idle
+        slot; only when every slot is gone (total loss) does the pool grow
+        from here as a last resort.
+        """
+        while True:
+            with self._lock:
+                if not self._deferred:
+                    return
+                record = self._deferred[0]
+            try:
+                slot = self._pool.acquire(allow_spawn=False)
+                if slot is None and self._pool.size == 0:
+                    slot = self._pool.acquire()
+            except Exception as err:  # pool closed underneath the retry
+                with self._lock:
+                    if self._deferred and self._deferred[0] is record:
+                        self._deferred.pop(0)
+                self._fail(record, StageCrashError(
+                    record.stage,
+                    f"could not re-dispatch after slot death: {err!r}"))
+                continue
+            if slot is None:
+                return  # all slots busy; a resolve will free one, next tick
+            with self._lock:
+                if self._deferred and self._deferred[0] is record:
+                    self._deferred.pop(0)
+            self._dispatch(record, slot)
+
+    def _fail(self, record: _PendingStage, error: StageError) -> None:
+        with self._lock:
+            if self._pending.pop(record.task_id, None) is None:
+                return
+        self._slots_free.release()
+        record.future.set_exception(error)
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Stop routing, fail pending tasks, discard their slots (idempotent).
+
+        An abandoned stream may leave tasks mid-execution; their slots are
+        discarded rather than released (a recycled slot must be genuinely
+        idle) and their futures fail with a typed error, so nothing blocks
+        interpreter shutdown on a queue feeder thread.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._router.join(timeout=2.0)
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self._deferred.clear()
+        for record in pending:
+            if record.slot is not None:
+                self._pool.discard(record.slot)
+            if not record.future.done():
+                record.future.set_exception(
+                    StageError(record.stage, "stage executor closed with the "
+                                             "task still in flight"))
+        if self._owns_pool:
+            self._pool.close()
+        shutil.rmtree(self._spool, ignore_errors=True)
+
+    def __enter__(self) -> "PoolStageExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ThreadStageExecutor:
+    """The stage-executor interface on host threads.
+
+    Used by the ``local`` and ``sim`` backend specs: no processes, no
+    pickling, genuine overlap only where numpy releases the GIL -- but the
+    exact same futures-and-backpressure contract, and bit-identical results
+    (stage tasks are pure functions).
+    """
+
+    def __init__(self, *, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        from concurrent.futures import ThreadPoolExecutor
+        self._executor = ThreadPoolExecutor(max_workers=workers,
+                                            thread_name_prefix="stage")
+        self._slots_free = threading.BoundedSemaphore(workers)
+        self._closed = False
+        self._in_flight = 0
+        self._count_lock = threading.Lock()
+        self.retries = 0  # interface parity; threads do not die under us
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def in_flight(self) -> int:
+        with self._count_lock:
+            return self._in_flight
+
+    def inject_kill(self, stage: str, kills: int = 1) -> None:
+        """Interface parity with :class:`PoolStageExecutor`, but host threads
+        cannot be SIGKILLed; crash-matrix scenarios need a process backend."""
+        raise NotImplementedError(
+            "thread-backed stage executors cannot lose a worker to SIGKILL; "
+            "use a 'process' backend spec to exercise crash recovery")
+
+    def submit(self, stage: str, fn: Callable, *args, **kwargs) -> Future:
+        while not self._slots_free.acquire(timeout=0.1):
+            if self._closed:
+                raise StageError(stage, "stage executor is closed")
+        if self._closed:
+            self._slots_free.release()
+            raise StageError(stage, "stage executor is closed")
+
+        def run():
+            try:
+                return fn(*args, **kwargs)
+            except StageError:
+                raise
+            except Exception as err:
+                raise StageError(stage, repr(err)) from err
+
+        # Relay through an outer future so a task cancelled by close()
+        # surfaces as the module's typed StageError, exactly as on the
+        # process-backed executor, instead of a raw CancelledError.
+        outer: Future = Future()
+        with self._count_lock:
+            self._in_flight += 1
+        try:
+            inner = self._executor.submit(run)
+        except RuntimeError as err:  # close() won the race to shutdown
+            with self._count_lock:
+                self._in_flight -= 1
+            self._slots_free.release()
+            raise StageError(stage, "stage executor is closed") from err
+
+        def relay(finished: Future) -> None:
+            with self._count_lock:
+                self._in_flight -= 1
+            self._slots_free.release()
+            if finished.cancelled():
+                outer.set_exception(StageError(
+                    stage, "stage executor closed with the task still in flight"))
+                return
+            error = finished.exception()
+            if error is not None:
+                outer.set_exception(error)
+            else:
+                outer.set_result(finished.result())
+
+        inner.add_done_callback(relay)
+        return outer
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ThreadStageExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["PoolStageExecutor", "ThreadStageExecutor", "StageError",
+           "StageCrashError", "try_run_stage"]

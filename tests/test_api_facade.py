@@ -107,7 +107,7 @@ class TestBackendRegistry:
 
 class TestEngineRegistry:
     def test_names(self):
-        assert engine_names() == ["distributed", "resilient", "sequential"]
+        assert engine_names() == ["distributed", "pipeline", "resilient", "sequential"]
 
     def test_get_engine_instances(self):
         for name in engine_names():
@@ -117,7 +117,7 @@ class TestEngineRegistry:
 
     def test_unknown_engine_lists_registered(self):
         with pytest.raises(ValueError,
-                           match="distributed, resilient, sequential"):
+                           match="distributed, pipeline, resilient, sequential"):
             get_engine("typo")
 
 
@@ -229,5 +229,5 @@ class TestDeprecationShims:
                      "FusionSession", "BackendSpec", "engine_names",
                      "backend_names", "register_engine", "register_backend"):
             assert hasattr(repro, name), name
-        assert repro.engine_names() == ["distributed", "resilient", "sequential"]
+        assert repro.engine_names() == ["distributed", "pipeline", "resilient", "sequential"]
         assert repro.backend_names() == ["local", "process", "sim"]

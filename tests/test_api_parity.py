@@ -31,6 +31,9 @@ ENGINE_BACKEND_MATRIX = [
     ("resilient", "sim"),
     ("resilient", "local"),
     ("resilient", "process"),
+    ("pipeline", "sim"),
+    ("pipeline", "local"),
+    ("pipeline", "process"),
 ]
 
 
@@ -51,9 +54,40 @@ def test_composites_bit_identical_across_engines_and_backends(
                                   reference.result.basis.components)
 
 
+@pytest.mark.parametrize("engine", ["distributed", "pipeline"])
 @pytest.mark.parametrize("spec", ["sim:switched", "sim:smp", "process:fork"])
-def test_parameterised_backend_specs_preserve_parity(tiny_cube, reference, spec):
+def test_parameterised_backend_specs_preserve_parity(tiny_cube, reference,
+                                                     engine, spec):
     """Variant specs (cluster presets, start methods) are output-invariant."""
-    report = fuse(tiny_cube, engine="distributed", backend=spec,
-                  config=PARITY_CONFIG)
+    report = fuse(tiny_cube, engine=engine, backend=spec, config=PARITY_CONFIG)
     np.testing.assert_array_equal(report.composite, reference.composite)
+
+
+@pytest.mark.parametrize("tile_rows", [1, 3, 32])
+def test_pipeline_tile_rows_is_output_invariant(tiny_cube, reference, tile_rows):
+    """The streaming granularity knob never changes the composite."""
+    report = fuse(tiny_cube, engine="pipeline", backend="local",
+                  config=PARITY_CONFIG, tile_rows=tile_rows)
+    np.testing.assert_array_equal(report.composite, reference.composite)
+
+
+def test_fuse_stream_fuse_many_and_loop_are_equivalent(tiny_cube, small_cube):
+    """One batch, three API shapes, one answer.
+
+    ``session.fuse_stream`` (overlapped), ``session.fuse_many`` (serial on
+    warm resources) and a loop of one-shot ``repro.fuse`` calls must return
+    report-for-report bit-identical composites in the same order.
+    """
+    from repro import open_session
+
+    cubes = [tiny_cube, small_cube, tiny_cube]
+    loop = [fuse(cube, engine="pipeline", backend="process",
+                 config=PARITY_CONFIG) for cube in cubes]
+    with open_session(engine="pipeline", backend="process",
+                      config=PARITY_CONFIG, max_inflight=2) as session:
+        streamed = list(session.fuse_stream(cubes))
+        batched = session.fuse_many(cubes)
+    for one_shot, stream_report, batch_report in zip(loop, streamed, batched):
+        np.testing.assert_array_equal(stream_report.composite, one_shot.composite)
+        np.testing.assert_array_equal(batch_report.composite, one_shot.composite)
+        assert stream_report.unique_set_size == one_shot.unique_set_size

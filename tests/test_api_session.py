@@ -14,6 +14,14 @@ from repro.scp.runtime import Application
 from repro.scp.thread import ThreadSpec
 
 
+def _explode():
+    raise RuntimeError("boom")
+
+
+def _answer():
+    return 42
+
+
 def _receiver_program(ctx):
     from repro.scp.effects import Recv
     envelope = yield Recv(port="data")
@@ -205,3 +213,154 @@ class TestFusionSession:
             report = session.fuse(tiny_cube)
             np.testing.assert_array_equal(report.composite, reference.composite)
             assert report.resilience is not None
+
+
+class TestStreamingSession:
+    """``submit``/``fuse_stream`` and the shared stage executor underneath."""
+
+    def test_pipeline_stream_reuses_slots(self, tiny_cube, small_cube, fast_config):
+        reference = [fuse(cube, config=fast_config)
+                     for cube in (tiny_cube, small_cube)]
+        with open_session(engine="pipeline", backend="process",
+                          config=fast_config, max_inflight=2) as session:
+            reports = list(session.fuse_stream([tiny_cube, small_cube]))
+            spawned = session.spawned_processes
+            reports += list(session.fuse_stream([tiny_cube, small_cube]))
+            # Warm slots: the second stream spawns nothing new.
+            assert session.spawned_processes == spawned
+        for report, ref in zip(reports, reference * 2):
+            np.testing.assert_array_equal(report.composite, ref.composite)
+
+    def test_submit_returns_futures_in_any_order(self, tiny_cube, fast_config):
+        reference = fuse(tiny_cube, config=fast_config)
+        with open_session(engine="pipeline", backend="process",
+                          config=fast_config, max_inflight=2) as session:
+            futures = [session.submit(tiny_cube) for _ in range(3)]
+            for future in reversed(futures):
+                np.testing.assert_array_equal(future.result().composite,
+                                              reference.composite)
+            assert session.runs_completed == 3
+
+    def test_non_pipeline_stream_drains_serially(self, tiny_cube, fast_config):
+        reference = fuse(tiny_cube, config=fast_config)
+        with open_session(engine="distributed", backend="process",
+                          config=fast_config) as session:
+            for report in session.fuse_stream([tiny_cube, tiny_cube]):
+                np.testing.assert_array_equal(report.composite,
+                                              reference.composite)
+
+    def test_abandoned_stream_is_drained_on_exit(self, tiny_cube, fast_config):
+        # Regression: abandoning a stream mid-flight used to leave pending
+        # stage futures and slot inboxes behind, and their queue feeder
+        # threads blocked interpreter shutdown; close() must drain them.
+        session = open_session(engine="pipeline", backend="process",
+                               config=fast_config, max_inflight=2)
+        stream = session.fuse_stream([tiny_cube] * 6)
+        next(stream)  # start the window, then walk away
+        session.close()
+        executor = session._stage_executor
+        assert executor is not None and executor.closed
+        assert executor.in_flight == 0
+        assert session.cubes_placed == 0
+        with pytest.raises(RuntimeError, match="closed"):
+            session.fuse(tiny_cube)
+
+    def test_max_inflight_validated(self, tiny_cube, fast_config):
+        with open_session(engine="pipeline", backend="process", warm=False,
+                          config=fast_config, max_inflight=0) as session:
+            with pytest.raises(ValueError, match="max_inflight"):
+                list(session.fuse_stream([tiny_cube]))
+
+    def test_pipeline_session_rejects_resilience_options(self, tiny_cube,
+                                                         fast_config):
+        # The session's streaming branch bypasses engine.run(); the option
+        # validation must not be bypassed with it.
+        with open_session(engine="pipeline", backend="local",
+                          config=fast_config) as session:
+            with pytest.raises(ValueError, match="replication"):
+                session.fuse(tiny_cube, replication=3)
+            with pytest.raises(ValueError, match="camouflage"):
+                session.fuse(tiny_cube, camouflage_period=1.0)
+
+    def test_max_inflight_rejected_outside_pipeline_streams(self, tiny_cube):
+        # Inert knobs fail loudly: a serial session cannot honour it, and a
+        # one-shot run has no stream for it to schedule.
+        with pytest.raises(ValueError, match="max_inflight"):
+            open_session(engine="distributed", backend="process", warm=False,
+                         max_inflight=2)
+        with pytest.raises(ValueError, match="max_inflight"):
+            fuse(tiny_cube, max_inflight=8)
+        with pytest.raises(ValueError, match="max_inflight"):
+            fuse(tiny_cube, engine="pipeline", backend="local", max_inflight=8)
+
+    def test_max_inflight_is_pinned_by_first_stream(self, tiny_cube, fast_config):
+        # Driver threads cannot grow after creation; asking for a different
+        # width later must be loud, not a silent cap.
+        with open_session(engine="pipeline", backend="process",
+                          config=fast_config, max_inflight=1) as session:
+            list(session.fuse_stream([tiny_cube]))
+            with pytest.raises(ValueError, match="pinned"):
+                list(session.fuse_stream([tiny_cube], max_inflight=8))
+
+    def test_thread_executor_close_rejects_submits_with_typed_error(self):
+        from repro.scp.stages import StageError, ThreadStageExecutor
+
+        executor = ThreadStageExecutor(workers=1)
+        blocker = executor.submit("screen", time.sleep, 0.5)
+        closer = threading.Thread(target=executor.close)
+        closer.start()  # blocks on the running task; the flag is set first
+        time.sleep(0.05)
+        with pytest.raises(StageError, match="project"):
+            executor.submit("project", time.sleep, 0.0)
+        closer.join()
+        assert blocker.result(timeout=5) is None
+        assert executor.closed
+
+
+class TestPipelineCrashMatrix:
+    """SIGKILL a pool slot mid-stage, for every pipeline stage.
+
+    The stream must either complete with a bit-identical composite after
+    the slot respawn (retry budget available) or raise a clean typed error
+    (budget exhausted) -- never hang.  ``inject_kill`` delivers a real
+    SIGKILL to the slot process right after the task assignment, the same
+    observable failure as an OOM kill or node loss mid-computation.
+    """
+
+    STAGES = ["screen", "covariance", "project"]
+
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_stream_survives_slot_kill_bit_identically(self, tiny_cube,
+                                                       fast_config, stage):
+        reference = fuse(tiny_cube, config=fast_config)
+        with open_session(engine="pipeline", backend="process",
+                          config=fast_config) as session:
+            executor = session._stage_runtime()
+            executor.inject_kill(stage)
+            report = session.fuse(tiny_cube)
+            assert executor.retries >= 1
+            np.testing.assert_array_equal(report.composite, reference.composite)
+
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_exhausted_retry_budget_raises_typed_error(self, tiny_cube,
+                                                       fast_config, stage):
+        from repro.core.streaming import run_pipeline
+        from repro.scp.stages import PoolStageExecutor, StageCrashError
+
+        with ProcessPool() as pool:
+            with PoolStageExecutor(pool, workers=2, max_retries=0) as executor:
+                executor.inject_kill(stage, kills=8)
+                with pytest.raises(StageCrashError, match=stage):
+                    run_pipeline(tiny_cube, fast_config, executor)
+
+    def test_deterministic_stage_errors_are_not_retried(self):
+        from repro.scp.stages import PoolStageExecutor, StageError
+
+        with ProcessPool() as pool:
+            with PoolStageExecutor(pool, workers=1) as executor:
+                future = executor.submit("screen", _explode)
+                with pytest.raises(StageError, match="screen"):
+                    future.result(timeout=30)
+                assert executor.retries == 0
+                # The slot survived its task's exception and is reusable.
+                assert executor.submit("screen", _answer).result(timeout=30) == 42
