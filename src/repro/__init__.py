@@ -57,7 +57,7 @@ from .core import (DistributedPCT, DistributedRunOutcome, FusionResult,
                    ResilientPCT, ResilientRunOutcome, SpectralScreeningPCT)
 from .data import HydiceConfig, HydiceGenerator, HyperspectralCube, generate_cube
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # Unified fusion API

@@ -114,6 +114,14 @@ def _reject_pipeline_options(request: FusionRequest, engine: str) -> None:
             f"engine {engine!r} runs its batches serially; max_inflight "
             f"applies to session streams -- use "
             f"repro.open_session(engine='pipeline', max_inflight=...)")
+    if request.adaptive_tiles is not None:
+        raise ValueError(
+            f"engine {engine!r} has no streaming tile scheduler; "
+            f"adaptive_tiles needs engine='pipeline'")
+    if request.zero_copy is not None:
+        raise ValueError(
+            f"engine {engine!r} has no streaming result path to place in "
+            f"shared memory; zero_copy needs engine='pipeline'")
 
 
 @register_engine("sequential")

@@ -44,7 +44,7 @@ from typing import Iterable, Iterator, List, Optional
 
 from ..core.streaming import execute_pipeline_request, validate_pipeline_request
 from ..data.cube import HyperspectralCube
-from ..data.shared import SharedCube
+from ..data.shared import OutputPool, SharedCube
 from ..scp.pool import PooledProcessBackend, ProcessPool
 from ..scp.registry import BackendSpec
 from ..scp.runtime import Backend
@@ -139,11 +139,13 @@ class FusionSession:
         self._lock = threading.Lock()
         self._run_lock = threading.Lock()
         # Streaming machinery, created lazily on first use: one stage
-        # executor shared by every in-flight pipeline run, plus the driver
-        # threads of submit()/fuse_stream().
+        # executor shared by every in-flight pipeline run, the driver
+        # threads of submit()/fuse_stream(), and the pool of reusable
+        # zero-copy output placements.
         self._stage_executor = None
         self._drivers: Optional[ThreadPoolExecutor] = None
         self._driver_width: Optional[int] = None
+        self._output_pool: Optional[OutputPool] = None
         if warm and self._pool is not None:
             self._pool.ensure(self._warm_target())
 
@@ -195,10 +197,7 @@ class FusionSession:
         open another session to change them).
         """
         self._check_open()
-        illegal = set(overrides) - _OVERRIDABLE
-        if illegal:
-            raise ValueError(f"cannot override {sorted(illegal)} per call; "
-                             f"open a new session instead")
+        self._check_overrides(overrides)
         merged = {**self._defaults, **overrides}
         request = FusionRequest(cube=self._place(cube), engine=self.engine,
                                 backend=self._spec, **merged)
@@ -211,7 +210,8 @@ class FusionSession:
                 # too, even though engine.run() is bypassed.
                 validate_pipeline_request(request, one_shot=False)
                 report = execute_pipeline_request(request, self._stage_runtime(),
-                                                  backend_label=self.backend)
+                                                  backend_label=self.backend,
+                                                  output_pool=self._output_runtime())
             else:
                 # One pool serves one program run at a time (its shared
                 # outbox would cross reports), so batch-engine runs are
@@ -230,7 +230,14 @@ class FusionSession:
 
     def fuse_many(self, cubes: Iterable[HyperspectralCube],
                   **overrides) -> List[FusionReport]:
-        """Fuse a batch of cubes back to back on the warm resources."""
+        """Fuse a batch of cubes back to back on the warm resources.
+
+        An empty batch returns an empty list on every engine (after the
+        same open/override validation a non-empty batch would get), so
+        callers never see engine-dependent behaviour at the boundary.
+        """
+        self._check_open()
+        self._check_overrides(overrides)
         return [self.fuse(cube, **overrides) for cube in cubes]
 
     # ------------------------------------------------------------- streaming
@@ -244,10 +251,7 @@ class FusionSession:
         their resources reclaimed, by :meth:`close`.
         """
         self._check_open()
-        illegal = set(overrides) - _OVERRIDABLE
-        if illegal:
-            raise ValueError(f"cannot override {sorted(illegal)} per call; "
-                             f"open a new session instead")
+        self._check_overrides(overrides)
         return self._driver_pool(self._max_inflight(overrides)) \
             .submit(self.fuse, cube, **overrides)
 
@@ -262,10 +266,20 @@ class FusionSession:
         composites are identical either way -- but on the pipeline engine
         the stream overlaps independent cubes instead of running them
         serially.
+
+        Validation is eager (a closed session or a bad override raises
+        here, not at the first ``next()``), and an empty stream yields
+        nothing on every engine without touching the driver machinery --
+        the same boundary contract as :meth:`fuse_many`.
         """
         self._check_open()
-        window: "deque[Future[FusionReport]]" = deque()
+        self._check_overrides(overrides)
         inflight = self._max_inflight(overrides)
+        return self._stream(cubes, inflight, overrides)
+
+    def _stream(self, cubes: Iterable[HyperspectralCube], inflight: int,
+                overrides: dict) -> Iterator[FusionReport]:
+        window: "deque[Future[FusionReport]]" = deque()
         try:
             for cube in cubes:
                 window.append(self.submit(cube, **overrides))
@@ -302,6 +316,24 @@ class FusionSession:
                 else:
                     self._stage_executor = ThreadStageExecutor(workers=workers)
             return self._stage_executor
+
+    def _output_runtime(self) -> Optional[OutputPool]:
+        """The session-wide pool of reusable zero-copy output placements.
+
+        Only process-backed pipeline sessions write results through shared
+        memory; thread-backed sessions return ``None`` and the engine's
+        auto mode keeps their results in-process.  Sized to the streaming
+        window: each in-flight run pins one placement, and the pool may
+        transiently exceed its bound only while every segment is pinned.
+        """
+        if self._pool is None:
+            return None
+        with self._lock:
+            self._check_open()
+            if self._output_pool is None:
+                self._output_pool = OutputPool(
+                    max_segments=max(self._max_inflight(None), 1))
+            return self._output_pool
 
     def _driver_pool(self, width: int) -> ThreadPoolExecutor:
         """The driver threads, sized by the first stream's ``max_inflight``.
@@ -383,6 +415,12 @@ class FusionSession:
         if self._closed:
             raise RuntimeError("fusion session is closed")
 
+    def _check_overrides(self, overrides: dict) -> None:
+        illegal = set(overrides) - _OVERRIDABLE
+        if illegal:
+            raise ValueError(f"cannot override {sorted(illegal)} per call; "
+                             f"open a new session instead")
+
     def close(self) -> None:
         """Release the worker pool and every owned shared-memory segment.
 
@@ -411,6 +449,14 @@ class FusionSession:
             executor = self._stage_executor
         if executor is not None and not executor.closed:
             executor.close()
+        # Output placements are released only after the stage executor is
+        # gone (no task can still be writing) -- abandoned-run pins are
+        # force-released by OutputPool.close, so nothing survives into
+        # /dev/shm.
+        with self._lock:
+            output_pool = self._output_pool
+        if output_pool is not None:
+            output_pool.close()
         with self._lock:
             placements = [entry[1] for entry in self._placements.values()]
             self._placements.clear()

@@ -70,6 +70,10 @@ def _build_parser() -> argparse.ArgumentParser:
     fuse.add_argument("--tile-rows", type=int, default=None,
                       help="rows per streaming tile (pipeline engine only; "
                            "default ~2 tiles per worker)")
+    fuse.add_argument("--adaptive-tiles", action="store_true",
+                      help="size streaming tiles adaptively from measured "
+                           "stage throughput (pipeline engine only; "
+                           "--tile-rows then sets the initial probe size)")
     fuse.add_argument("--replication", type=int, default=2)
     fuse.add_argument("--attack", default=None,
                       help="logical worker to attack mid-run (resilient engine only)")
@@ -126,6 +130,8 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
     options = {}
     if args.tile_rows is not None:
         options["tile_rows"] = args.tile_rows
+    if args.adaptive_tiles:
+        options["adaptive_tiles"] = True
     if args.engine == "resilient":
         options["replication"] = args.replication
         if args.attack:

@@ -49,18 +49,21 @@ from __future__ import annotations
 
 import math
 import time
-from typing import List, Optional, Sequence
+from concurrent.futures import FIRST_COMPLETED, wait
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cluster.metrics import RunMetrics
 from ..config import FusionConfig, ScreeningConfig
-from ..data.cube import HyperspectralCube
-from ..data.shared import SharedCube
+from ..data.cube import CubeError, HyperspectralCube
+from ..data.shared import (OutputPool, SharedComposite, SharedCompositeHandle,
+                           SharedCube, write_output_tile)
 from ..scp.pool import PooledProcessBackend, ProcessPool
 from ..scp.registry import BackendSpec
 from ..scp.runtime import Backend
-from ..scp.stages import PoolStageExecutor, ThreadStageExecutor
+from ..scp.stages import (PoolStageExecutor, ThreadStageExecutor,
+                          ThroughputEWMA)
 from .partition import (SubcubeSpec, decompose, extract_subcube,
                         reassemble_composite, subcube_pixel_matrix)
 from .pipeline import FusionResult, SpectralScreeningPCT
@@ -104,6 +107,78 @@ def default_tile_rows(rows: int, workers: int) -> int:
     return max(1, math.ceil(rows / max(2 * workers, 1)))
 
 
+class AdaptiveTileScheduler:
+    """Sizes projection tiles from measured stage throughput.
+
+    The paper balances load across heterogeneous workers by over-decomposing
+    and letting fast machines claim more work units; a *fixed* ``tile_rows``
+    reproduces that only when the operator guesses the granularity well.
+    This scheduler removes the guess: it tracks an EWMA of the projection
+    stage's measured rows/second (:class:`~repro.scp.stages.ThroughputEWMA`)
+    and sizes each *next* tile to take roughly ``target_seconds`` at the
+    observed rate, capped by a guided-self-scheduling taper
+    (``remaining / workers``) so the tail of the row range degenerates into
+    small tiles any idle slot can grab -- the load-balancing behaviour of
+    the paper's Figure 5 without a granularity knob.
+
+    Scheduling only *repartitions rows of the projection stage*, which the
+    tiling property tests prove output-invariant (the eigen-decomposition
+    barrier pins one global basis), so adaptivity can never change the
+    composite -- it is a pure throughput control.
+    """
+
+    def __init__(self, rows: int, workers: int, *, initial_tile_rows: int,
+                 target_seconds: float = 0.2, alpha: float = 0.4,
+                 min_tile_rows: int = 1) -> None:
+        if rows < 1:
+            raise ValueError("rows must be >= 1")
+        if initial_tile_rows < 1 or min_tile_rows < 1:
+            raise ValueError("tile sizes must be >= 1")
+        if target_seconds <= 0:
+            raise ValueError("target_seconds must be positive")
+        self._rows = rows
+        self._workers = max(workers, 1)
+        self._initial = initial_tile_rows
+        self._target_seconds = target_seconds
+        self._min_tile_rows = min_tile_rows
+        self._next_row = 0
+        self._issued = 0
+        self._throughput = ThroughputEWMA(alpha=alpha)
+
+    @property
+    def tiles_issued(self) -> int:
+        return self._issued
+
+    @property
+    def throughput(self) -> ThroughputEWMA:
+        return self._throughput
+
+    def record(self, rows: int, seconds: float) -> None:
+        """Feed one completed tile's measured rows/seconds back in."""
+        self._throughput.record(rows, seconds)
+
+    def next_tile(self) -> Optional[SubcubeSpec]:
+        """The next tile to dispatch, or ``None`` when the rows are spent."""
+        remaining = self._rows - self._next_row
+        if remaining <= 0:
+            return None
+        rate = self._throughput.rate()
+        if rate is None:
+            size = self._initial  # probe tiles until a rate is observed
+        else:
+            size = int(rate * self._target_seconds)
+        size = max(self._min_tile_rows, size)
+        # Guided taper: never grab more than an even share of what is left,
+        # so stragglers at the tail can be picked up by whichever slot is
+        # free -- the heterogeneous-worker balance the paper relies on.
+        size = min(size, max(1, math.ceil(remaining / self._workers)), remaining)
+        spec = SubcubeSpec(task_id=self._issued, row_start=self._next_row,
+                           row_stop=self._next_row + size)
+        self._next_row += size
+        self._issued += 1
+        return spec
+
+
 # ---------------------------------------------------------------------------
 # Stage tasks (pure module-level functions: picklable, deterministic,
 # safely re-runnable after a slot crash)
@@ -134,6 +209,24 @@ def project_tile(cube: HyperspectralCube, spec: SubcubeSpec, basis: PCTBasis,
     return components, composite
 
 
+def project_tile_into(cube: HyperspectralCube, spec: SubcubeSpec,
+                      basis: PCTBasis, n_components: int, normalize: bool,
+                      stretch_mean: np.ndarray, stretch_std: np.ndarray,
+                      out: SharedCompositeHandle) -> Tuple[int, int]:
+    """Stage 3 task, zero-copy variant: write the tile into ``out`` directly.
+
+    The computed arrays never travel through the result spool -- the tile is
+    written straight into the shared-memory output placement and only the
+    row range is acknowledged back.  Safe under crash retry: tiles own
+    disjoint row ranges and the computation is deterministic, so re-running
+    a killed task rewrites the same bytes.
+    """
+    components, composite = project_tile(cube, spec, basis, n_components,
+                                         normalize, stretch_mean, stretch_std)
+    return write_output_tile(out, spec.row_start, spec.row_stop,
+                             components, composite)
+
+
 # ---------------------------------------------------------------------------
 # The staged DAG driver
 # ---------------------------------------------------------------------------
@@ -143,14 +236,87 @@ def _gather(futures: Sequence) -> List:
     return [future.result() for future in futures]
 
 
+def _drive_projection(submit_tile: Callable, rows: int, workers: int, *,
+                      adaptive: bool, initial_tile_rows: int):
+    """Dispatch the stage-3 tiles and collect their payloads in tile order.
+
+    The fixed path plans every tile upfront (:func:`plan_tiles`); the
+    adaptive path sizes each next tile from the
+    :class:`AdaptiveTileScheduler`'s throughput EWMA as completions come
+    back, keeping up to ``workers`` tiles in flight so the sizing decision
+    is always made with the freshest measurement.
+    """
+    if not adaptive:
+        tiles = plan_tiles(rows, initial_tile_rows)
+        return tiles, _gather([submit_tile(spec) for spec in tiles])
+    scheduler = AdaptiveTileScheduler(rows, workers,
+                                      initial_tile_rows=initial_tile_rows)
+    tiles: List[SubcubeSpec] = []
+    payloads = {}
+    inflight = {}
+    durations = {}
+    while True:
+        while len(inflight) < max(workers, 1):
+            spec = scheduler.next_tile()
+            if spec is None:
+                break
+            tiles.append(spec)
+            future = submit_tile(spec)
+            # The clock starts after submit returns (its backpressure wait
+            # is not task time) and stops in a done callback on the
+            # resolving thread, so each tile gets its own duration rather
+            # than a shared wait()-batch timestamp.
+            started = time.perf_counter()
+            future.add_done_callback(
+                lambda f, tid=spec.task_id, t0=started:
+                    durations.setdefault(tid, time.perf_counter() - t0))
+            inflight[future] = spec
+        if not inflight:
+            break
+        done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+        for future in done:
+            spec = inflight.pop(future)
+            payloads[spec.task_id] = future.result()  # surfaces stage errors
+            elapsed = durations.get(spec.task_id)
+            if elapsed is not None:
+                scheduler.record(spec.rows, elapsed)
+    return tiles, [payloads[index] for index in range(len(tiles))]
+
+
+def _validate_row_coverage(acks: Sequence[Tuple[int, int]], rows: int) -> None:
+    """Assert the acknowledged zero-copy writes tile the rows exactly once."""
+    covered = np.zeros(rows, dtype=bool)
+    for start, stop in acks:
+        if covered[start:stop].any():
+            raise ValueError(f"rows {start}:{stop} were written twice")
+        covered[start:stop] = True
+    if not covered.all():
+        missing = int(np.count_nonzero(~covered))
+        raise ValueError(f"output placement is missing {missing} rows")
+
+
 def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
                  n_components: int = 3, full_projection: bool = True,
-                 tile_rows: Optional[int] = None) -> FusionResult:
+                 tile_rows: Optional[int] = None, adaptive_tiles: bool = False,
+                 zero_copy: Optional[bool] = None,
+                 output_pool: Optional[OutputPool] = None) -> FusionResult:
     """Drive one cube through the staged screen/statistics/transform DAG.
 
     ``executor`` is any stage executor (:class:`PoolStageExecutor` or
     :class:`ThreadStageExecutor`); several concurrent ``run_pipeline`` calls
     may share one executor, which is how independent cubes overlap.
+
+    ``zero_copy`` selects the result transport of the projection stage:
+    workers write tiles straight into a :class:`~repro.data.shared.
+    SharedComposite` placement (``True``; the default on process-backed
+    executors, where the alternative is pickling every tile through the
+    spool) or return them as pickled blocks (``False``; the default on
+    thread executors, which share the driver's address space anyway).
+    ``adaptive_tiles`` switches the projection tiling from the fixed
+    ``tile_rows`` plan to the :class:`AdaptiveTileScheduler`.  Neither knob
+    can change the composite -- tiling is output-invariant past the
+    eigen-decomposition barrier and both transports carry identical bytes.
+    ``output_pool`` lets sessions reuse placement segments across runs.
     """
     reference = SpectralScreeningPCT(config, n_components=n_components,
                                      full_projection=full_projection)
@@ -182,22 +348,68 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
                            components=basis.components[:3], mean=basis.mean)
     stretch_mean, stretch_std = component_statistics(project(unique, stats_basis))
 
-    # Stage 3: per-tile projection + colour mapping (parallel), reassembled.
+    # Stage 3: per-tile projection + colour mapping (parallel).  Tiles are
+    # either returned as pickled blocks and reassembled here (spool path)
+    # or written by the workers straight into a shared-memory output
+    # placement and acknowledged as row ranges (zero-copy path).
     effective_tile_rows = (tile_rows if tile_rows is not None
                            else default_tile_rows(cube.rows, workers))
-    tiles = plan_tiles(cube.rows, effective_tile_rows)
     normalize = config.colormap.normalize_components
-    tile_futures = [executor.submit("project", project_tile, cube, spec, basis,
-                                    n_components, normalize, stretch_mean,
-                                    stretch_std)
-                    for spec in tiles]
-    blocks = _gather(tile_futures)
-    components = reassemble_composite(
-        [(spec, block[0]) for spec, block in zip(tiles, blocks)],
-        cube.rows, cube.cols, channels=n_components)
-    composite = reassemble_composite(
-        [(spec, block[1]) for spec, block in zip(tiles, blocks)],
-        cube.rows, cube.cols, channels=3)
+    use_zero_copy = (zero_copy if zero_copy is not None
+                     else isinstance(executor, PoolStageExecutor))
+    placement: Optional[SharedComposite] = None
+    completed = False
+    if use_zero_copy:
+        placement = (output_pool.acquire(cube.rows, cube.cols, n_components)
+                     if output_pool is not None
+                     else SharedComposite.create(cube.rows, cube.cols,
+                                                 n_components))
+    try:
+        if use_zero_copy:
+            out_handle = placement.handle()
+
+            def submit_tile(spec: SubcubeSpec):
+                return executor.submit("project", project_tile_into, cube,
+                                       spec, basis, n_components, normalize,
+                                       stretch_mean, stretch_std, out_handle)
+        else:
+            def submit_tile(spec: SubcubeSpec):
+                return executor.submit("project", project_tile, cube, spec,
+                                       basis, n_components, normalize,
+                                       stretch_mean, stretch_std)
+
+        tiles, payloads = _drive_projection(submit_tile, cube.rows, workers,
+                                            adaptive=adaptive_tiles,
+                                            initial_tile_rows=effective_tile_rows)
+        if use_zero_copy:
+            _validate_row_coverage(payloads, cube.rows)
+            components = np.array(placement.components)
+            composite = np.array(placement.composite)
+            if placement.closed:
+                # A racing session.close() force-released the placement
+                # (only possible for a direct fuse() the close cannot
+                # join); the copies above may be the swapped-out stubs, so
+                # fail loudly rather than return corrupt pixels.
+                raise CubeError("output placement was released under the "
+                                "run (session closed mid-fuse)")
+        else:
+            components = reassemble_composite(
+                [(spec, block[0]) for spec, block in zip(tiles, payloads)],
+                cube.rows, cube.cols, channels=n_components)
+            composite = reassemble_composite(
+                [(spec, block[1]) for spec, block in zip(tiles, payloads)],
+                cube.rows, cube.cols, channels=3)
+        completed = True
+    finally:
+        if placement is not None:
+            if output_pool is not None and completed:
+                output_pool.release(placement)
+            elif output_pool is not None:
+                # Failed run: straggler tile tasks may still be writing, so
+                # the segment is retired, never reissued to another run.
+                output_pool.discard(placement)
+            else:
+                placement.close()
 
     metadata = {
         "mode": "pipeline",
@@ -210,7 +422,9 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
         "stretch_std": stretch_std,
         "tile_rows": effective_tile_rows,
         "tiles": len(tiles),
-        "stage_tasks": len(screen_futures) + len(cov_futures) + len(tile_futures),
+        "tile_scheduler": "adaptive" if adaptive_tiles else "fixed",
+        "zero_copy": use_zero_copy,
+        "stage_tasks": len(screen_futures) + len(cov_futures) + len(tiles),
     }
     return FusionResult(composite=composite, components=components, basis=basis,
                         unique_set_size=int(unique.shape[0]),
@@ -268,12 +482,14 @@ def validate_pipeline_request(request, *, one_shot: bool) -> None:
                          "simulated backend of the other engines")
 
 
-def execute_pipeline_request(request, executor, *, backend_label: str):
+def execute_pipeline_request(request, executor, *, backend_label: str,
+                             output_pool: Optional[OutputPool] = None):
     """Run one :class:`~repro.api.request.FusionRequest` on ``executor``.
 
     Shared by :class:`PipelineEngine` (one-shot, private executor) and
     :class:`~repro.api.session.FusionSession` (streaming, one executor for
-    every in-flight cube).  Returns the unified
+    every in-flight cube; sessions also pass their reusable ``output_pool``
+    of zero-copy placements).  Returns the unified
     :class:`~repro.api.request.FusionReport`.
     """
     from ..api.request import FusionReport
@@ -283,7 +499,10 @@ def execute_pipeline_request(request, executor, *, backend_label: str):
     result = run_pipeline(request.cube, config, executor,
                           n_components=request.n_components,
                           full_projection=request.full_projection,
-                          tile_rows=request.tile_rows)
+                          tile_rows=request.tile_rows,
+                          adaptive_tiles=bool(request.adaptive_tiles),
+                          zero_copy=request.zero_copy,
+                          output_pool=output_pool)
     elapsed = time.perf_counter() - start
     metrics = RunMetrics(elapsed_seconds=elapsed, backend=backend_label,
                          workers=config.partition.workers,
@@ -347,7 +566,8 @@ class PipelineEngine:
                 placed.close()
 
 
-__all__ = ["PipelineEngine", "run_pipeline", "execute_pipeline_request",
-           "validate_pipeline_request", "make_stage_executor", "plan_tiles",
-           "default_tile_rows", "screen_tile", "covariance_partial",
-           "project_tile"]
+__all__ = ["PipelineEngine", "AdaptiveTileScheduler", "run_pipeline",
+           "execute_pipeline_request", "validate_pipeline_request",
+           "make_stage_executor", "plan_tiles", "default_tile_rows",
+           "screen_tile", "covariance_partial", "project_tile",
+           "project_tile_into"]

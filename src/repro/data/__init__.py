@@ -12,7 +12,9 @@ process-parallel backend (:mod:`.shared`).
 
 from .cube import CubeError, HyperspectralCube
 from .hydice import HydiceConfig, HydiceGenerator, generate_cube, solar_illumination
-from .shared import SharedCube, SharedCubeHandle, share_cube_params
+from .shared import (OutputPool, SharedComposite, SharedCompositeHandle,
+                     SharedCube, SharedCubeHandle, owned_segment_names,
+                     share_cube_params, sweep_owned_segments)
 from .noise import NoiseModel, apply_sensor_noise, band_noise_sigma
 from .scene import (DEFAULT_MATERIALS, SceneLayout, VehiclePlacement,
                     generate_scene)
@@ -29,7 +31,12 @@ __all__ = [
     "solar_illumination",
     "SharedCube",
     "SharedCubeHandle",
+    "SharedComposite",
+    "SharedCompositeHandle",
+    "OutputPool",
     "share_cube_params",
+    "owned_segment_names",
+    "sweep_owned_segments",
     "NoiseModel",
     "apply_sensor_noise",
     "band_noise_sigma",

@@ -73,10 +73,14 @@ def _pool_child_main(slot_name: str, inbox, outbox) -> None:
     -- is dropped, so leftovers of a previous run can never leak into the
     next.
     """
+    from ..data.shared import release_attachments
     from .stages import try_run_stage
     while True:
         item = inbox.get()
         if isinstance(item, str) and item == _POOL_EXIT:
+            # Drop any cached output-placement mappings deterministically
+            # rather than relying on process teardown to release the pages.
+            release_attachments()
             return
         if try_run_stage(item, outbox):
             continue

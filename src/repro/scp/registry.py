@@ -165,7 +165,12 @@ class BackendSpec:
         workers: Optional[int] = None
         for token in tokens[1:]:
             if not token:
-                continue
+                # An empty or whitespace-only token is a malformed spec, not
+                # a separator to skip: "process::8" is most likely a typo'd
+                # variant, and silently ignoring it would accept it.
+                raise ValueError(
+                    f"backend spec {spec!r} contains an empty token; write "
+                    f"'name[:variant][:workers]' without empty segments")
             if token.isdigit():
                 if workers is not None:
                     raise ValueError(f"backend spec {spec!r} gives two worker counts")

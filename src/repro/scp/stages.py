@@ -92,6 +92,47 @@ def _unlink_quietly(path: str) -> None:
         pass
 
 
+class ThroughputEWMA:
+    """Exponentially weighted moving average of a stage's throughput.
+
+    Observations are ``(units, seconds)`` pairs (for the streaming engine:
+    rows projected and the task's measured wall clock); :meth:`rate` is the
+    smoothed units-per-second estimate the adaptive tile scheduler sizes
+    the next tile from.  Thread-safe: stream drivers record from their own
+    threads.
+    """
+
+    def __init__(self, alpha: float = 0.4) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._alpha = alpha
+        self._rate: Optional[float] = None
+        self._observations = 0
+        self._lock = threading.Lock()
+
+    def record(self, units: float, seconds: float) -> None:
+        """Fold one ``units``-in-``seconds`` observation into the average."""
+        if units < 0:
+            raise ValueError("units must be >= 0")
+        observed = units / max(seconds, 1e-9)
+        with self._lock:
+            self._observations += 1
+            if self._rate is None:
+                self._rate = observed
+            else:
+                self._rate = self._alpha * observed + (1 - self._alpha) * self._rate
+
+    @property
+    def observations(self) -> int:
+        with self._lock:
+            return self._observations
+
+    def rate(self) -> Optional[float]:
+        """Smoothed units/second, or ``None`` before the first observation."""
+        with self._lock:
+            return self._rate
+
+
 class StageError(SCPError):
     """A stage task failed and the failure is attributable to the task.
 
@@ -228,6 +269,11 @@ class PoolStageExecutor:
             pool.ensure(workers)
         #: Tasks re-dispatched after their slot died (observable chaos metric).
         self.retries = 0
+        #: Result-payload bytes read back through the spool, per stage.  The
+        #: zero-copy benchmark's primary observable: with shared-memory
+        #: output placement the ``project`` stage's entry collapses from
+        #: O(pixels) pickled arrays to O(1) row-range acknowledgements.
+        self.stage_payload_bytes: Dict[str, int] = {}
         self._kill_requests: Dict[str, int] = {}
         self._router = threading.Thread(target=self._route, daemon=True,
                                         name="stage-router")
@@ -360,6 +406,9 @@ class PoolStageExecutor:
         try:
             with open(path, "rb") as fh:
                 payload = fh.read()
+            with self._lock:
+                self.stage_payload_bytes[record.stage] = (
+                    self.stage_payload_bytes.get(record.stage, 0) + len(payload))
             if error:
                 record.future.set_exception(StageError(
                     record.stage, payload.decode("utf-8", "replace")))
@@ -499,6 +548,8 @@ class ThreadStageExecutor:
         self._in_flight = 0
         self._count_lock = threading.Lock()
         self.retries = 0  # interface parity; threads do not die under us
+        #: Interface parity: thread results never touch a pickle spool.
+        self.stage_payload_bytes: Dict[str, int] = {}
 
     @property
     def closed(self) -> bool:
@@ -576,5 +627,5 @@ class ThreadStageExecutor:
         self.close()
 
 
-__all__ = ["PoolStageExecutor", "ThreadStageExecutor", "StageError",
-           "StageCrashError", "try_run_stage"]
+__all__ = ["PoolStageExecutor", "ThreadStageExecutor", "ThroughputEWMA",
+           "StageError", "StageCrashError", "try_run_stage"]

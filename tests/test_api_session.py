@@ -271,6 +271,51 @@ class TestStreamingSession:
             with pytest.raises(ValueError, match="max_inflight"):
                 list(session.fuse_stream([tiny_cube]))
 
+    @pytest.mark.parametrize("engine,backend", [
+        ("sequential", None), ("distributed", "sim"), ("pipeline", "local")])
+    def test_empty_batches_are_consistent_across_engines(self, engine, backend):
+        # fuse_many([]) and fuse_stream(iter([])) return empty results on
+        # every engine, without spinning up any streaming machinery.
+        with open_session(engine=engine, backend=backend, workers=2,
+                          warm=False) as session:
+            assert session.fuse_many([]) == []
+            assert list(session.fuse_stream(iter([]))) == []
+            assert session.runs_completed == 0
+            assert session._drivers is None  # no driver threads were built
+
+    def test_empty_batches_still_validate_eagerly(self, tiny_cube):
+        session = open_session(engine="pipeline", backend="process", warm=False)
+        with pytest.raises(ValueError, match="cannot override"):
+            session.fuse_many([], engine="sequential")
+        # fuse_stream validates at call time, not at the first next().
+        with pytest.raises(ValueError, match="cannot override"):
+            session.fuse_stream([tiny_cube], engine="sequential")
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.fuse_many([])
+        with pytest.raises(RuntimeError, match="closed"):
+            session.fuse_stream(iter([]))
+
+    def test_adaptive_stream_is_bit_identical_and_reuses_placements(
+            self, tiny_cube, fast_config):
+        reference = fuse(tiny_cube, config=fast_config)
+        with open_session(engine="pipeline", backend="process",
+                          config=fast_config, max_inflight=2) as session:
+            reports = list(session.fuse_stream([tiny_cube] * 4,
+                                               adaptive_tiles=True))
+            for report in reports:
+                np.testing.assert_array_equal(report.composite,
+                                              reference.composite)
+                assert report.result.metadata["tile_scheduler"] == "adaptive"
+                assert report.result.metadata["zero_copy"] is True
+            # The output placements were served by the bounded session pool
+            # (streams of one shape never allocate per run)...
+            assert session._output_pool is not None
+            assert session._output_pool.segments <= 2
+        # ... and the session close released every segment it owned.
+        from repro.data.shared import owned_segment_names
+        assert owned_segment_names() == ()
+
     def test_pipeline_session_rejects_resilience_options(self, tiny_cube,
                                                          fast_config):
         # The session's streaming branch bypasses engine.run(); the option
@@ -330,15 +375,22 @@ class TestPipelineCrashMatrix:
     STAGES = ["screen", "covariance", "project"]
 
     @pytest.mark.parametrize("stage", STAGES)
+    @pytest.mark.parametrize("zero_copy", [True, False],
+                             ids=["zero-copy", "spool"])
     def test_stream_survives_slot_kill_bit_identically(self, tiny_cube,
-                                                       fast_config, stage):
+                                                       fast_config, stage,
+                                                       zero_copy):
+        # Both result transports must survive the kill: the zero-copy path
+        # re-writes its (disjoint, deterministic) rows on retry, the spool
+        # path re-pickles the block.
         reference = fuse(tiny_cube, config=fast_config)
         with open_session(engine="pipeline", backend="process",
                           config=fast_config) as session:
             executor = session._stage_runtime()
             executor.inject_kill(stage)
-            report = session.fuse(tiny_cube)
+            report = session.fuse(tiny_cube, zero_copy=zero_copy)
             assert executor.retries >= 1
+            assert report.result.metadata["zero_copy"] is zero_copy
             np.testing.assert_array_equal(report.composite, reference.composite)
 
     @pytest.mark.parametrize("stage", STAGES)

@@ -1,0 +1,366 @@
+"""SharedComposite output placements, pin counts, and the leak-proof registry."""
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.config import FusionConfig, PartitionConfig, ScreeningConfig
+from repro.core.streaming import AdaptiveTileScheduler, run_pipeline
+from repro.data.cube import CubeError
+from repro.data.hydice import HydiceConfig, HydiceGenerator
+from repro.data.shared import (OutputPool, SharedComposite, owned_segment_names,
+                               sweep_owned_segments, write_output_tile)
+from repro.scp.stages import ThreadStageExecutor
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(os.path.join("/dev/shm", name))
+
+
+class TestSharedComposite:
+    def test_attached_writes_are_visible_to_the_owner(self):
+        with SharedComposite.create(8, 5, n_components=3) as out:
+            handle = out.handle()
+            components = np.arange(3 * 5 * 3, dtype=np.float64).reshape(3, 5, 3)
+            composite = components + 1000.0
+            # The worker-side entry point: attach through the handle, write.
+            ack = write_output_tile(handle, 2, 5, components, composite)
+            assert ack == (2, 5)
+            np.testing.assert_array_equal(out.components[2:5], components)
+            np.testing.assert_array_equal(out.composite[2:5], composite)
+            # Rows outside the tile stay untouched (zero-initialised pages).
+            assert not out.components[:2].any()
+
+    def test_pickle_transfers_only_a_handle(self):
+        with SharedComposite.create(64, 64, n_components=3) as out:
+            blob = pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
+            assert len(blob) < out.components.nbytes / 100
+            clone = pickle.loads(blob)
+            try:
+                assert clone.segment_name == out.segment_name
+                assert not clone.is_owner
+            finally:
+                clone.close()
+
+    def test_out_of_range_writes_are_rejected(self):
+        with SharedComposite.create(4, 3) as out:
+            block = np.zeros((2, 3, 3))
+            with pytest.raises(ValueError, match="out of range"):
+                out.write_rows(3, 5, block, block)
+
+    def test_handle_and_write_refused_after_close(self):
+        out = SharedComposite.create(4, 3)
+        out.close()
+        with pytest.raises(CubeError):
+            out.handle()
+        with pytest.raises(CubeError):
+            out.write_rows(0, 1, np.zeros((1, 3, 3)), np.zeros((1, 3, 3)))
+
+    def test_double_close_is_idempotent(self):
+        out = SharedComposite.create(4, 3)
+        name = out.segment_name
+        out.close()
+        out.close()
+        assert out.closed and not _segment_exists(name)
+
+    def test_close_after_crash_is_idempotent(self):
+        # A crashed peer (or an earlier sweep) already unlinked the segment;
+        # close must swallow the FileNotFoundError, not raise.
+        out = SharedComposite.create(4, 3)
+        out._shm.unlink()
+        out.close()
+        out.close()
+        assert out.closed
+
+    def test_pinned_close_is_deferred_to_the_last_unpin(self):
+        out = SharedComposite.create(4, 3)
+        name = out.segment_name
+        out.pin()
+        out.pin()
+        out.close()  # two in-flight runs: must not release anything yet
+        assert not out.closed and _segment_exists(name)
+        out.unpin()
+        assert not out.closed and _segment_exists(name)
+        out.unpin()  # last pin released: the deferred close completes
+        assert out.closed and not _segment_exists(name)
+
+    def test_pinning_a_closed_placement_is_refused(self):
+        out = SharedComposite.create(4, 3)
+        out.close()
+        with pytest.raises(CubeError, match="pin"):
+            out.pin()
+
+    def test_attachment_cache_eviction_respects_pins(self):
+        # A writer's attachment is pinned for the duration of its write;
+        # cache eviction must skip pinned entries (transiently exceeding the
+        # bound) so a concurrent write can never lose its arrays mid-flight.
+        from repro.data.shared import _ATTACHMENTS_LIMIT, _attach_output
+
+        owners = [SharedComposite.create(2, 2)
+                  for _ in range(_ATTACHMENTS_LIMIT + 2)]
+        try:
+            attached = [_attach_output(owner.handle()) for owner in owners]
+            # Every entry is pinned: nothing was evicted despite the bound.
+            assert all(not placement.closed for placement in attached)
+            for placement in attached:
+                placement.unpin()
+            extra = SharedComposite.create(2, 2)
+            owners.append(extra)
+            _attach_output(extra.handle()).unpin()  # now eviction resumes
+            assert any(placement.closed for placement in attached)
+        finally:
+            for owner in owners:
+                owner.close()  # also sweeps the matching cache entries
+
+
+class TestOutputPool:
+    def test_release_then_acquire_reuses_the_segment(self):
+        with OutputPool(max_segments=2) as pool:
+            first = pool.acquire(8, 4, 3)
+            assert first.pins == 1
+            name = first.segment_name
+            pool.release(first)
+            assert first.pins == 0
+            again = pool.acquire(8, 4, 3)
+            assert again.segment_name == name
+
+    def test_concurrent_streams_get_distinct_pinned_segments(self):
+        # Two overlapping runs of the same output shape must never share a
+        # placement: the first is pinned, so acquire allocates a second.
+        with OutputPool(max_segments=4) as pool:
+            first = pool.acquire(8, 4, 3)
+            second = pool.acquire(8, 4, 3)
+            assert first.segment_name != second.segment_name
+            assert first.pins == 1 and second.pins == 1
+
+    def test_shape_mismatch_allocates_a_new_segment(self):
+        with OutputPool(max_segments=4) as pool:
+            first = pool.acquire(8, 4, 3)
+            pool.release(first)
+            other = pool.acquire(16, 4, 3)
+            assert other.segment_name != first.segment_name
+
+    def test_eviction_skips_pinned_segments(self):
+        with OutputPool(max_segments=1) as pool:
+            pinned = pool.acquire(8, 4, 3)
+            extra = pool.acquire(8, 4, 3)  # transiently over the bound
+            pool.release(extra)  # over-bound: evicts the *unpinned* extra
+            assert extra.closed
+            assert not pinned.closed and pinned.pins == 1
+            np.testing.assert_array_equal(pinned.components.shape, (8, 4, 3))
+            pool.release(pinned)
+
+    def test_discard_retires_the_segment_instead_of_reissuing(self):
+        # A failed run's placement may still have straggler writers; discard
+        # must unlink it and the next acquire must get a fresh segment.
+        with OutputPool(max_segments=2) as pool:
+            failed = pool.acquire(8, 4, 3)
+            name = failed.segment_name
+            pool.discard(failed)
+            assert failed.closed and not _segment_exists(name)
+            assert pool.segments == 0
+            fresh = pool.acquire(8, 4, 3)
+            assert fresh.segment_name != name
+            pool.release(fresh)
+
+    def test_close_is_idempotent_and_force_releases_pins(self):
+        pool = OutputPool(max_segments=2)
+        abandoned = pool.acquire(8, 4, 3)  # an abandoned run never released
+        name = abandoned.segment_name
+        pool.close()
+        pool.close()
+        assert abandoned.closed and not _segment_exists(name)
+        with pytest.raises(CubeError, match="closed"):
+            pool.acquire(8, 4, 3)
+
+
+class TestSegmentRegistry:
+    def test_owned_segments_are_tracked_until_close(self):
+        out = SharedComposite.create(4, 3)
+        assert out.segment_name in owned_segment_names()
+        out.close()
+        assert out.segment_name not in owned_segment_names()
+
+    def test_sweep_force_closes_leftovers(self):
+        # A placement abandoned without close() -- the crash/abandon leak
+        # class -- is released by the registry sweep (the atexit hook).
+        leaked = SharedComposite.create(4, 3)
+        leaked.pin()  # even a pinned leftover must not survive the sweep
+        name = leaked.segment_name
+        assert sweep_owned_segments() >= 1
+        assert leaked.closed and not _segment_exists(name)
+        assert name not in owned_segment_names()
+
+
+class TestAdaptiveTileScheduler:
+    def test_tiles_partition_the_rows_for_any_recorded_rates(self):
+        rng = np.random.default_rng(2028)
+        for _ in range(50):
+            rows = int(rng.integers(1, 400))
+            workers = int(rng.integers(1, 9))
+            scheduler = AdaptiveTileScheduler(rows, workers,
+                                              initial_tile_rows=int(rng.integers(1, 32)))
+            tiles = []
+            while (spec := scheduler.next_tile()) is not None:
+                tiles.append(spec)
+                if rng.random() < 0.8:  # feedback arrives asynchronously
+                    scheduler.record(spec.rows, float(rng.uniform(1e-4, 0.5)))
+            assert tiles[0].row_start == 0 and tiles[-1].row_stop == rows
+            for a, b in zip(tiles, tiles[1:]):
+                assert a.row_stop == b.row_start
+            assert [t.task_id for t in tiles] == list(range(len(tiles)))
+
+    def test_tile_size_follows_measured_throughput(self):
+        fast = AdaptiveTileScheduler(10_000, 4, initial_tile_rows=8,
+                                     target_seconds=0.2)
+        slow = AdaptiveTileScheduler(10_000, 4, initial_tile_rows=8,
+                                     target_seconds=0.2)
+        fast.record(100, 0.01)   # 10k rows/s -> ~2000-row tiles before taper
+        slow.record(100, 1.0)    # 100 rows/s -> ~20-row tiles
+        fast.next_tile()  # consume one tile each so both are mid-range
+        fast_size = fast.next_tile().rows
+        slow.next_tile()
+        slow_size = slow.next_tile().rows
+        assert fast_size > slow_size
+
+    def test_taper_never_exceeds_the_fair_share_of_remaining_rows(self):
+        scheduler = AdaptiveTileScheduler(100, 4, initial_tile_rows=8)
+        scheduler.record(1_000_000, 0.001)  # absurd rate: taper must clamp
+        spec = scheduler.next_tile()
+        assert spec.rows <= 25  # ceil(100 / 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveTileScheduler(0, 2, initial_tile_rows=4)
+        with pytest.raises(ValueError):
+            AdaptiveTileScheduler(10, 2, initial_tile_rows=0)
+        with pytest.raises(ValueError):
+            AdaptiveTileScheduler(10, 2, initial_tile_rows=4, target_seconds=0)
+
+
+class TestZeroCopyParity:
+    """The zero-copy transport and adaptive scheduling never change outputs."""
+
+    @pytest.fixture(scope="class")
+    def cube(self):
+        return HydiceGenerator(HydiceConfig(bands=12, rows=29, cols=17, seed=5,
+                                            vehicles=1,
+                                            camouflaged_vehicles=0)).generate()
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return FusionConfig(
+            screening=ScreeningConfig(angle_threshold=0.05, max_unique=256),
+            partition=PartitionConfig(workers=2, subcubes=2))
+
+    @pytest.mark.parametrize("adaptive", [False, True])
+    @pytest.mark.parametrize("zero_copy", [False, True])
+    def test_every_transport_x_scheduler_matches_sequential(
+            self, cube, config, adaptive, zero_copy):
+        from repro import fuse
+
+        reference = fuse(cube, engine="sequential", config=config)
+        with ThreadStageExecutor(workers=2) as executor:
+            result = run_pipeline(cube, config, executor,
+                                  adaptive_tiles=adaptive, zero_copy=zero_copy)
+        np.testing.assert_array_equal(result.composite, reference.composite)
+        np.testing.assert_array_equal(result.components,
+                                      reference.result.components)
+        assert result.metadata["zero_copy"] is zero_copy
+        assert result.metadata["tile_scheduler"] == (
+            "adaptive" if adaptive else "fixed")
+        assert owned_segment_names() == ()  # every placement released
+
+
+class TestFailedRunDiscardsPlacement:
+    """A crashed zero-copy run never returns its segment to the pool.
+
+    Regression: straggler projection tasks of a failed run may still be
+    writing into the placement after the driver gives up; reissuing that
+    segment to a concurrent stream would let them corrupt its composite.
+    """
+
+    def test_crashed_run_retires_its_output_segment(self, tiny_cube,
+                                                    fast_config):
+        from repro.scp.pool import ProcessPool
+        from repro.scp.stages import PoolStageExecutor, StageCrashError
+
+        pool = OutputPool(max_segments=2)
+        with ProcessPool() as workers:
+            with PoolStageExecutor(workers, workers=2,
+                                   max_retries=0) as executor:
+                executor.inject_kill("project", kills=8)
+                with pytest.raises(StageCrashError):
+                    run_pipeline(tiny_cube, fast_config, executor,
+                                 zero_copy=True, output_pool=pool)
+            assert pool.segments == 0  # discarded, not returned for reuse
+            with PoolStageExecutor(workers, workers=2) as executor:
+                result = run_pipeline(tiny_cube, fast_config, executor,
+                                      zero_copy=True, output_pool=pool)
+            assert result.composite.shape == (tiny_cube.rows, tiny_cube.cols, 3)
+            assert pool.segments == 1
+        pool.close()
+
+
+class TestCrashAndAbandonLeakRegression:
+    """No /dev/shm residue and no resource-tracker warnings after crashes.
+
+    Regression for the segment-lifecycle leak: a SIGKILLed worker mid-task
+    plus an abandoned stream used to leave shared-memory segments behind
+    (observable as ``/dev/shm`` residue and resource-tracker shutdown
+    warnings).  The scenario runs in a subprocess so the interpreter-exit
+    path -- where the tracker prints its warnings and the atexit sweep
+    runs -- is part of what is asserted.
+    """
+
+    SCRIPT = textwrap.dedent("""
+        import gc, os, sys
+        before = set(os.listdir("/dev/shm"))
+        import numpy as np
+        import repro
+        from repro.config import FusionConfig, PartitionConfig, ScreeningConfig
+        from repro.data.hydice import HydiceConfig, HydiceGenerator
+
+        cube = HydiceGenerator(HydiceConfig(bands=8, rows=24, cols=16, seed=9,
+                                            vehicles=1,
+                                            camouflaged_vehicles=0)).generate()
+        config = FusionConfig(
+            screening=ScreeningConfig(angle_threshold=0.05, max_unique=128),
+            partition=PartitionConfig(workers=2, subcubes=2))
+        session = repro.open_session(engine="pipeline", backend="process:fork",
+                                     config=config, max_inflight=2)
+        # A real SIGKILL mid-projection: the slot dies holding an attached
+        # cube segment and a half-written output placement.
+        executor = session._stage_runtime()
+        executor.inject_kill("project")
+        session.fuse(cube)
+        assert executor.retries >= 1
+        # An abandoned stream: walk away mid-window, then close.
+        stream = session.fuse_stream([cube] * 6)
+        next(stream)
+        session.close()
+        gc.collect()
+        leftover = sorted(name for name in set(os.listdir("/dev/shm")) - before
+                          if name.startswith(("psm_", "scp-stages-", "wnsm_")))
+        print("LEFTOVER=" + ",".join(leftover))
+    """)
+
+    def test_no_shm_residue_and_no_tracker_warnings(self):
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT], capture_output=True,
+            text=True, timeout=180,
+            env={**os.environ,
+                 "PYTHONPATH": os.pathsep.join(
+                     filter(None, [os.path.join(os.path.dirname(__file__),
+                                                os.pardir, "src"),
+                                   os.environ.get("PYTHONPATH")]))})
+        assert proc.returncode == 0, proc.stderr
+        assert "LEFTOVER=\n" in proc.stdout or proc.stdout.strip().endswith(
+            "LEFTOVER="), f"segments leaked: {proc.stdout!r}"
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "leaked" not in proc.stderr, proc.stderr

@@ -76,13 +76,22 @@ class TestBackendSpecProperties:
             assert BackendSpec.parse(spec) is spec
             assert BackendSpec.parse(str(BackendSpec.parse(str(spec)))) == spec
 
-    def test_empty_tokens_are_ignored(self):
-        assert BackendSpec.parse("process::8") == BackendSpec("process", None, 8)
+    def test_surrounding_whitespace_is_tolerated(self):
         assert BackendSpec.parse(" sim : smp ") == BackendSpec("sim", "smp", None)
+
+    def test_empty_tokens_are_rejected_naming_the_spec(self):
+        # Regression: "process::8" used to silently skip the empty token;
+        # it is most likely a typo'd variant and must fail loudly.
+        for bad in ("process::8", "process: :4", "process:", "sim:smp:"):
+            with pytest.raises(ValueError, match="empty token") as err:
+                BackendSpec.parse(bad)
+            assert repr(bad) in str(err.value)
 
     @pytest.mark.parametrize("bad", [
         "process:8:4",            # two worker counts
+        "process:4:4",            # duplicate worker counts
         "sim:smp:switched",       # two variants
+        "process:fork:fork",      # duplicate variants
         "process:0",              # worker count below 1
         "sim:warp-drive",         # unknown variant
         "quantum",                # unknown backend
@@ -91,6 +100,13 @@ class TestBackendSpecProperties:
     def test_malformed_specs_fail_loudly(self, bad):
         with pytest.raises(ValueError):
             BackendSpec.parse(bad)
+
+    @pytest.mark.parametrize("bad", ["process:8:4", "process:4:4",
+                                     "sim:smp:switched", "process::8"])
+    def test_malformed_spec_errors_name_the_spec(self, bad):
+        with pytest.raises(ValueError) as err:
+            BackendSpec.parse(bad)
+        assert repr(bad) in str(err.value)
 
 
 # ---------------------------------------------------------------------------
