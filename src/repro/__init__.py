@@ -51,13 +51,14 @@ from .api import (BackendContext, BackendSpec, FusionReport, FusionRequest,
                   FusionSession, backend_names, create_backend,
                   describe_backends, engine_names, fuse, get_engine,
                   open_session, register_backend, register_engine, run_request)
-from .config import (FusionConfig, PAPER_SETUP, PaperSetup, PartitionConfig,
-                     ResilienceConfig, ScreeningConfig)
+from .config import (COMPUTE_DTYPES, FusionConfig, PAPER_SETUP, PaperSetup,
+                     PartitionConfig, ResilienceConfig, ScreeningConfig)
 from .core import (DistributedPCT, DistributedRunOutcome, FusionResult,
                    ResilientPCT, ResilientRunOutcome, SpectralScreeningPCT)
+from .core.profiling import StageTiming
 from .data import HydiceConfig, HydiceGenerator, HyperspectralCube, generate_cube
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # Unified fusion API
@@ -76,7 +77,10 @@ __all__ = [
     "get_engine",
     "register_backend",
     "register_engine",
+    # Profiling
+    "StageTiming",
     # Configuration
+    "COMPUTE_DTYPES",
     "FusionConfig",
     "PAPER_SETUP",
     "PaperSetup",

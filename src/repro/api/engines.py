@@ -35,6 +35,8 @@ from typing import Dict, List, Optional, Protocol, Type, runtime_checkable
 from ..cluster.metrics import RunMetrics
 from ..core.distributed import _DistributedPCT
 from ..core.pipeline import SpectralScreeningPCT
+from ..core.profiling import (StageTiming, build_stage_timings,
+                              stage_timings_from_result)
 from ..core.resilient import _ResilientPCT
 from ..scp.runtime import Backend
 from .request import FusionReport, FusionRequest
@@ -103,6 +105,36 @@ def _reject_resilience_options(request: FusionRequest, engine: str) -> None:
                 f"use engine='resilient' for replication, attacks and camouflage")
 
 
+def _backend_stage_timings(request: FusionRequest, result,
+                           metrics: RunMetrics) -> Dict[str, StageTiming]:
+    """Stage timings of a manager/worker run, from the backend's metrics.
+
+    Every SCP backend charges :class:`~repro.scp.effects.Compute` effects
+    into ``metrics.phase_seconds`` (virtual seconds on the simulated
+    backend, measured wall clock on the local/process backends).  Rows and
+    the FLOP estimates come from the problem shape and the step cost models;
+    the ``transform`` phase fuses steps 7 and 8, so its estimate is the sum
+    of both.  With replica execution enabled the phase seconds aggregate
+    every replica's work, so the derived rates are cluster-wide, not
+    per-node.
+    """
+    cube = request.cube
+    estimator = SpectralScreeningPCT(request.resolved_config(),
+                                     n_components=request.n_components,
+                                     full_projection=request.full_projection)
+    estimates = estimator.estimate_phase_flops(cube, result.unique_set_size)
+    flops = {"screening": estimates["screening"],
+             "mean": estimates["mean"],
+             "covariance": estimates["covariance"],
+             "eigendecomposition": estimates["eigendecomposition"],
+             "transform": estimates["projection"] + estimates["colormap"]}
+    rows = {"screening": cube.pixels, "mean": result.unique_set_size,
+            "covariance": result.unique_set_size, "transform": cube.pixels}
+    return build_stage_timings(metrics.phase_seconds,
+                               phase_invocations=metrics.phase_invocations,
+                               phase_rows=rows, phase_flops=flops)
+
+
 def _reject_pipeline_options(request: FusionRequest, engine: str) -> None:
     """Actionable error when streaming knobs reach a batch engine."""
     if request.tile_rows is not None:
@@ -154,7 +186,8 @@ class SequentialEngine:
                              workers=1,
                              subcubes=config.partition.effective_subcubes)
         return FusionReport(result=result, metrics=metrics,
-                            engine=self.name, backend="inline")
+                            engine=self.name, backend="inline",
+                            stage_timings=stage_timings_from_result(result))
 
 
 @register_engine("distributed")
@@ -179,7 +212,9 @@ class DistributedEngine:
         outcome = impl.fuse(request.cube)
         label = backend.kind if backend is not None else request.backend_label()
         return FusionReport(result=outcome.result, metrics=outcome.metrics,
-                            engine=self.name, backend=label, run=outcome.run)
+                            engine=self.name, backend=label, run=outcome.run,
+                            stage_timings=_backend_stage_timings(
+                                request, outcome.result, outcome.metrics))
 
 
 @register_engine("resilient")
@@ -216,7 +251,9 @@ class ResilientEngine:
         label = backend.kind if backend is not None else request.backend_label()
         return FusionReport(result=outcome.result, metrics=outcome.metrics,
                             engine=self.name, backend=label, run=outcome.run,
-                            resilience=outcome.resilience_report)
+                            resilience=outcome.resilience_report,
+                            stage_timings=_backend_stage_timings(
+                                request, outcome.result, outcome.metrics))
 
 
 # Registered at the bottom: the streaming module must see register_engine

@@ -18,13 +18,14 @@ callers stop caring which engine produced their composite.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
 from ..cluster.machine import Cluster
 from ..cluster.metrics import RunMetrics
 from ..config import FusionConfig, PartitionConfig, ResilienceConfig
 from ..core.pipeline import FusionResult
+from ..core.profiling import StageTiming, stage_timings_table
 from ..data.cube import HyperspectralCube
 from ..resilience.attack import AttackScenario
 from ..scp.registry import BackendSpec
@@ -87,6 +88,11 @@ class FusionRequest:
     #: a shared-memory output placement on process executors, thread
     #: executors return blocks in-process; ``True``/``False`` force it.
     zero_copy: Optional[bool] = None
+    #: Arithmetic precision of the hot kernels (screening and the step-7
+    #: projection): ``"float64"`` (default, bit-identical to the seed
+    #: arithmetic) or ``"float32"`` (the documented fast mode).  ``None``
+    #: keeps whatever ``config`` says.
+    compute_dtype: Optional[str] = None
 
     # ---------------------------------------------------------- normalisation
     def backend_choice(self, default: str = "sim") -> Union[BackendSpec, Backend]:
@@ -123,6 +129,10 @@ class FusionRequest:
             resilience = base.resilience if base.resilience is not None else ResilienceConfig()
             base = base.with_resilience(
                 dataclasses.replace(resilience, replication_level=self.replication))
+        if self.compute_dtype is not None:
+            # FusionConfig.__post_init__ validates the dtype (its
+            # ConfigurationError is a ValueError, message included).
+            base = dataclasses.replace(base, compute_dtype=self.compute_dtype)
         return base
 
     def replace(self, **changes) -> "FusionRequest":
@@ -153,6 +163,12 @@ class FusionReport:
     resilience:
         The resiliency coordinator's report (recoveries, attacks,
         reconfigurations), when the resilient engine ran.
+    stage_timings:
+        Per-stage :class:`~repro.core.profiling.StageTiming` records
+        (seconds, invocations, rows/s, effective GFLOP/s), populated by
+        every engine; ``repro-fusion fuse --profile`` renders them via
+        :meth:`profile_table`.  Seconds are virtual on the simulated
+        backend, measured wall clock everywhere else.
     """
 
     result: FusionResult
@@ -161,6 +177,7 @@ class FusionReport:
     backend: str
     run: Optional[RunResult] = None
     resilience: Optional[Dict[str, object]] = None
+    stage_timings: Dict[str, StageTiming] = field(default_factory=dict)
 
     # ------------------------------------------------------------- shortcuts
     @property
@@ -201,6 +218,15 @@ class FusionReport:
             info["failures_injected"] = self.failures_injected
             info["replicas_regenerated"] = self.replicas_regenerated
         return info
+
+    def profile_table(self) -> str:
+        """The per-stage profile as a fixed-width table (``--profile``)."""
+        clock = ("virtual" if self.backend.startswith("sim") and
+                 self.engine in ("distributed", "resilient") else "wall")
+        return stage_timings_table(
+            self.stage_timings,
+            title=f"per-stage profile ({self.engine} on {self.backend}, "
+                  f"{clock} clock)")
 
 
 __all__ = ["FusionRequest", "FusionReport"]

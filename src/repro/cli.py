@@ -29,7 +29,7 @@ from .analysis.quality import enhancement_report
 from .analysis.report import dict_table
 from .api.engines import engine_names
 from .api.facade import fuse as api_fuse
-from .config import FusionConfig, PartitionConfig, ResilienceConfig
+from .config import COMPUTE_DTYPES, FusionConfig, PartitionConfig, ResilienceConfig
 from .data.cube import HyperspectralCube
 from .data.hydice import HydiceConfig, HydiceGenerator
 from .logging_utils import configure_basic_logging
@@ -77,6 +77,13 @@ def _build_parser() -> argparse.ArgumentParser:
     fuse.add_argument("--replication", type=int, default=2)
     fuse.add_argument("--attack", default=None,
                       help="logical worker to attack mid-run (resilient engine only)")
+    fuse.add_argument("--compute-dtype", choices=list(COMPUTE_DTYPES), default=None,
+                      help="arithmetic precision of the screening and projection "
+                           "kernels; float64 (default) is bit-identical to the "
+                           "reference, float32 is the documented fast mode")
+    fuse.add_argument("--profile", action="store_true",
+                      help="print the per-stage profile (seconds, rows/s, "
+                           "effective GFLOP/s) after the fusion summary")
     fuse.add_argument("--out", default=None, help="optional output .npz for the composite")
 
     sweep = subparsers.add_parser("sweep", help="run a small speed-up sweep (Figure 4 style)")
@@ -132,6 +139,8 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         options["tile_rows"] = args.tile_rows
     if args.adaptive_tiles:
         options["adaptive_tiles"] = True
+    if args.compute_dtype is not None:
+        options["compute_dtype"] = args.compute_dtype
     if args.engine == "resilient":
         options["replication"] = args.replication
         if args.attack:
@@ -156,12 +165,17 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
                  and BackendSpec.parse(args.backend).name == "sim"
                  else "wall_seconds")
         summary[label] = f"{report.elapsed_seconds:.2f}"
+    if args.compute_dtype is not None:
+        summary["compute_dtype"] = args.compute_dtype
     label_map = cube.metadata.get("target_mask")
     if label_map is not None:
-        report = enhancement_report(cube, result.composite, label_map)
-        summary["fused_target_contrast"] = f"{report['fused_contrast']:.2f}"
-        summary["enhancement_factor"] = f"{report['enhancement_factor']:.2f}"
+        quality = enhancement_report(cube, result.composite, label_map)
+        summary["fused_target_contrast"] = f"{quality['fused_contrast']:.2f}"
+        summary["enhancement_factor"] = f"{quality['enhancement_factor']:.2f}"
     print(dict_table("fusion summary", summary))
+    if args.profile:
+        print()
+        print(report.profile_table())
 
     if args.out:
         np.savez_compressed(args.out, composite=result.composite,

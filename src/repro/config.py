@@ -147,6 +147,10 @@ class ResilienceConfig:
                  "protocol_overhead must be in [0, 1)")
 
 
+#: Compute dtypes the numeric kernels accept (the compute-dtype policy).
+COMPUTE_DTYPES = ("float64", "float32")
+
+
 @dataclass(frozen=True)
 class FusionConfig:
     """Top-level configuration for a spectral-screening PCT run."""
@@ -158,6 +162,17 @@ class FusionConfig:
     #: Random seed controlling any stochastic component (data generation,
     #: placement tie-breaking, attack schedules).
     seed: int = 0
+    #: Arithmetic precision of the hot kernels (spectral screening and the
+    #: stage-3/step-7 projection).  ``"float64"`` (default) reproduces the
+    #: seed arithmetic bit for bit; ``"float32"`` is the documented fast mode
+    #: -- roughly half the memory traffic on the two bandwidth-bound stages,
+    #: at the cost of composites that only match to single precision.
+    compute_dtype: str = "float64"
+
+    def __post_init__(self) -> None:
+        _require(self.compute_dtype in COMPUTE_DTYPES,
+                 f"compute_dtype must be one of {COMPUTE_DTYPES}, "
+                 f"got {self.compute_dtype!r}")
 
     def with_workers(self, workers: int, subcubes: Optional[int] = None) -> "FusionConfig":
         """Return a copy configured for a different worker count."""
@@ -200,6 +215,7 @@ PAPER_SETUP = PaperSetup()
 
 __all__ = [
     "ConfigurationError",
+    "COMPUTE_DTYPES",
     "ScreeningConfig",
     "ColorMapConfig",
     "PartitionConfig",

@@ -179,7 +179,8 @@ def manager_program(ctx: Context, *, cube: HyperspectralCube,
     unique = yield Compute(fn=merge_unique_sets,
                            args=(unique_sets, screening.angle_threshold),
                            kwargs={"max_unique": screening.max_unique,
-                                   "rescreen": screening.rescreen_merge},
+                                   "rescreen": screening.rescreen_merge,
+                                   "compute_dtype": config.compute_dtype},
                            flops=lambda merged, n=total_members, b=bands,
                                r=screening.rescreen_merge:
                                merge_flops(n, merged.shape[0], b, rescreen=r),

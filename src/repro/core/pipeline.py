@@ -15,6 +15,7 @@ Figure 4), and the simplest entry point of the library::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -108,36 +109,62 @@ class SpectralScreeningPCT:
         algorithm; configured identically to a distributed run it produces a
         bit-identical composite, which is what the cross-implementation
         equivalence tests assert.
+
+        Each step's wall clock and processed row count are recorded into
+        ``metadata["stage_seconds"]`` / ``metadata["stage_rows"]`` /
+        ``metadata["stage_invocations"]``, from which the engine layer
+        derives :attr:`~repro.api.request.FusionReport.stage_timings`.
         """
         screening = self.config.screening
         subcubes = self.config.partition.effective_subcubes
+        compute_dtype = self.config.compute_dtype
+        stage_seconds: Dict[str, float] = {}
+        stage_rows: Dict[str, int] = {}
+        stage_invocations: Dict[str, int] = {}
+
+        def timed(stage: str, rows: Optional[int], fn, *args, **kwargs):
+            start = time.perf_counter()
+            value = fn(*args, **kwargs)
+            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + (
+                time.perf_counter() - start)
+            stage_invocations[stage] = stage_invocations.get(stage, 0) + 1
+            if rows is not None:
+                stage_rows[stage] = stage_rows.get(stage, 0) + rows
+            return value
 
         # Steps 1-2: per-sub-cube spectral screening, then merge.
         unique_sets = []
         for spec in decompose(cube.rows, min(subcubes, cube.rows)):
             block_pixels = subcube_pixel_matrix(extract_subcube(cube, spec))
-            unique_sets.append(screen_unique_set(
+            unique_sets.append(timed(
+                "screening", block_pixels.shape[0], screen_unique_set,
                 block_pixels, screening.angle_threshold,
                 max_unique=screening.max_unique,
-                sample_stride=screening.sample_stride))
-        unique = merge_unique_sets(unique_sets, screening.angle_threshold,
-                                   max_unique=screening.max_unique,
-                                   rescreen=screening.rescreen_merge)
+                sample_stride=screening.sample_stride,
+                compute_dtype=compute_dtype))
+        total_members = int(sum(u.shape[0] for u in unique_sets))
+        unique = timed("merge", total_members, merge_unique_sets,
+                       unique_sets, screening.angle_threshold,
+                       max_unique=screening.max_unique,
+                       rescreen=screening.rescreen_merge,
+                       compute_dtype=compute_dtype)
 
         # Step 3: mean vector of the unique set.
-        mean = mean_vector(unique)
+        mean = timed("mean", int(unique.shape[0]), mean_vector, unique)
 
         # Steps 4-5: covariance of the unique set, accumulated per partition
         # exactly as the distributed workers do (identical summation order).
         parts = partition_pixel_matrix(unique, max(self.config.partition.workers, 1))
-        partial_sums = [covariance_sum(part, mean) for part in parts]
+        partial_sums = [timed("covariance", int(part.shape[0]), covariance_sum,
+                              part, mean) for part in parts]
         covariance = covariance_matrix(partial_sums, total_pixels=unique.shape[0])
 
         # Step 6: transformation matrix.  The paper's formulation transforms
         # with the full eigenvector matrix and then keeps the first three
         # components for colour mapping.
         rank = cube.bands if self.full_projection else self.n_components
-        basis = transformation_matrix(covariance, mean, n_components=rank)
+        basis = timed("eigendecomposition", None, transformation_matrix,
+                      covariance, mean, n_components=rank)
 
         # Global colour-stretch statistics, derived from the screened unique
         # set so that the distributed workers (which normalise their blocks
@@ -146,15 +173,19 @@ class SpectralScreeningPCT:
         # truncated basis.
         stats_basis = PCTBasis(eigenvalues=basis.eigenvalues,
                                components=basis.components[:3], mean=basis.mean)
-        stretch_mean, stretch_std = component_statistics(project(unique, stats_basis))
+        stretch_mean, stretch_std = component_statistics(
+            timed("component_stats", int(unique.shape[0]), project,
+                  unique, stats_basis))
 
         # Step 7: transform the original cube, keeping the leading components.
-        components = project_cube_block(cube.data, basis)[..., : self.n_components]
+        components = timed("projection", cube.pixels, project_cube_block,
+                           cube.data, basis,
+                           compute_dtype=compute_dtype)[..., : self.n_components]
 
         # Step 8: human-centred colour mapping.
-        composite = color_map(components,
-                              normalize=self.config.colormap.normalize_components,
-                              mean=stretch_mean, std=stretch_std)
+        composite = timed("colormap", cube.pixels, color_map, components,
+                          normalize=self.config.colormap.normalize_components,
+                          mean=stretch_mean, std=stretch_std)
 
         phase_flops = self.estimate_phase_flops(cube, unique.shape[0])
         metadata = {
@@ -166,6 +197,10 @@ class SpectralScreeningPCT:
             "cols": cube.cols,
             "stretch_mean": stretch_mean,
             "stretch_std": stretch_std,
+            "compute_dtype": compute_dtype,
+            "stage_seconds": stage_seconds,
+            "stage_rows": stage_rows,
+            "stage_invocations": stage_invocations,
         }
         return FusionResult(composite=composite, components=components, basis=basis,
                             unique_set_size=int(unique.shape[0]),

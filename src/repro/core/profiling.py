@@ -1,0 +1,146 @@
+"""Per-stage profiling of fusion runs.
+
+Every engine already *times* its work somewhere -- the sequential reference
+wraps each algorithm step, the SCP backends charge :class:`~repro.scp.
+effects.Compute` effects into :class:`~repro.cluster.metrics.RunMetrics.
+phase_seconds`, and the streaming engine drives its stages from one
+function.  This module gives those measurements one shape:
+:class:`StageTiming` records for each stage the elapsed seconds, the number
+of kernel invocations, the rows (pixel vectors) processed, and the analytic
+FLOP estimate from the existing ``*_flops`` cost models -- from which the
+effective throughput (rows/second) and compute rate (GFLOP/s) follow.
+
+All four engines surface these records on :attr:`~repro.api.request.
+FusionReport.stage_timings`; ``repro-fusion fuse --profile`` prints them as
+a table.  On the simulated backend the seconds are *virtual* (the cost
+model's charge), so the derived GFLOP/s recovers the modelled node speed;
+everywhere else they are measured wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..analysis.report import format_table
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Timing and throughput of one named fusion stage.
+
+    Attributes
+    ----------
+    name:
+        Stage name (``"screening"``, ``"projection"``, ...).
+    seconds:
+        Elapsed seconds attributed to the stage.  Wall clock on real
+        backends; virtual (modelled) time on the simulated backend.
+    invocations:
+        Number of kernel invocations aggregated into ``seconds``.
+    rows:
+        Pixel vectors processed, when meaningful for the stage.
+    flops:
+        Analytic FLOP estimate from the step cost models, when available.
+    """
+
+    name: str
+    seconds: float
+    invocations: int = 1
+    rows: Optional[int] = None
+    flops: Optional[float] = None
+
+    @property
+    def rows_per_second(self) -> Optional[float]:
+        if self.rows is None or self.seconds <= 0:
+            return None
+        return self.rows / self.seconds
+
+    @property
+    def gflops_per_second(self) -> Optional[float]:
+        if self.flops is None or self.seconds <= 0:
+            return None
+        return self.flops / self.seconds / 1e9
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat record for JSON artifacts and tabulation."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "invocations": self.invocations,
+            "rows": self.rows,
+            "flops": self.flops,
+            "rows_per_second": self.rows_per_second,
+            "gflops_per_second": self.gflops_per_second,
+        }
+
+
+def build_stage_timings(
+        phase_seconds: Mapping[str, float], *,
+        phase_invocations: Optional[Mapping[str, int]] = None,
+        phase_rows: Optional[Mapping[str, int]] = None,
+        phase_flops: Optional[Mapping[str, float]] = None,
+) -> Dict[str, StageTiming]:
+    """Assemble :class:`StageTiming` records from per-phase measurements.
+
+    ``phase_seconds`` drives the stage list; the other mappings contribute
+    whatever they know about a stage and are simply omitted where silent.
+    Stages keep their measurement order (dicts preserve insertion order), so
+    tables read in pipeline order.
+    """
+    invocations = phase_invocations or {}
+    rows = phase_rows or {}
+    flops = phase_flops or {}
+    return {
+        name: StageTiming(
+            name=name,
+            seconds=float(seconds),
+            invocations=int(invocations.get(name, 1)),
+            rows=rows.get(name),
+            flops=flops.get(name),
+        )
+        for name, seconds in phase_seconds.items()
+    }
+
+
+def stage_timings_from_result(result) -> Dict[str, StageTiming]:
+    """Stage timings of an inline-driven run (sequential or pipeline).
+
+    Both drivers record ``stage_seconds`` / ``stage_rows`` /
+    ``stage_invocations`` into :attr:`~repro.core.pipeline.FusionResult.
+    metadata`; FLOP estimates come from ``metadata["stage_flops"]`` when the
+    driver supplies stage-specific ones (the pipeline's fused
+    projection+colour-map stage) and from the result's per-phase cost-model
+    estimates otherwise.
+    """
+    meta = result.metadata
+    flops = meta.get("stage_flops") or result.phase_flops
+    return build_stage_timings(meta.get("stage_seconds") or {},
+                               phase_invocations=meta.get("stage_invocations"),
+                               phase_rows=meta.get("stage_rows"),
+                               phase_flops=flops)
+
+
+def stage_timings_table(timings: Mapping[str, StageTiming], *,
+                        title: Optional[str] = "per-stage profile") -> str:
+    """Fixed-width table of the per-stage profile (the ``--profile`` view)."""
+    headers = ["stage", "seconds", "calls", "rows", "rows/s", "GFLOP/s"]
+
+    def fmt(value: Optional[float], pattern: str) -> str:
+        return "-" if value is None else pattern.format(value)
+
+    rows = [
+        [t.name, f"{t.seconds:.4f}", t.invocations,
+         "-" if t.rows is None else t.rows,
+         fmt(t.rows_per_second, "{:,.0f}"),
+         fmt(t.gflops_per_second, "{:.2f}")]
+        for t in timings.values()
+    ]
+    total = sum(t.seconds for t in timings.values())
+    rows.append(["total", f"{total:.4f}", sum(t.invocations for t in timings.values()),
+                 "-", "-", "-"])
+    return format_table(headers, rows, title=title)
+
+
+__all__ = ["StageTiming", "build_stage_timings", "stage_timings_from_result",
+           "stage_timings_table"]

@@ -12,8 +12,10 @@ simulated backend's cost model:
 from .colormap import (OPPONENCY_MATRIX, color_map, color_map_flops,
                        component_statistics, composite_from_block, luminance,
                        stretch_components)
-from .screening import (merge_flops, merge_unique_sets, normalize_rows,
-                        screen_unique_set, screening_flops, spectral_angles)
+from .screening import (UniqueSetBuffer, merge_flops, merge_unique_sets,
+                        normalize_rows, screen_unique_set,
+                        screen_unique_set_reference, screening_flops,
+                        spectral_angles)
 from .statistics import (covariance_combine_flops, covariance_matrix,
                          covariance_sum, covariance_sum_flops, mean_flops,
                          mean_vector, partition_pixel_matrix)
@@ -29,10 +31,12 @@ __all__ = [
     "composite_from_block",
     "luminance",
     "stretch_components",
+    "UniqueSetBuffer",
     "merge_flops",
     "merge_unique_sets",
     "normalize_rows",
     "screen_unique_set",
+    "screen_unique_set_reference",
     "screening_flops",
     "spectral_angles",
     "covariance_combine_flops",

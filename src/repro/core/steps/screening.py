@@ -10,10 +10,40 @@ carries the same weight as the signature of the dominant background (trees) --
 which is exactly the property the paper highlights.
 
 The implementation is a greedy cover: a pixel joins the unique set only if
-its angle to every current member exceeds the threshold.  To keep the pass
-vectorised, candidate pixels are processed in chunks; each chunk's angles to
-the current unique set are computed as one matrix product, and only the small
-set of survivors is resolved with an inner (short) loop.
+its angle to every current member exceeds the threshold.  The hot kernel
+(:func:`screen_unique_set`) keeps the pass vectorised and incremental:
+
+* members live in a :class:`UniqueSetBuffer` -- a grow-by-doubling
+  preallocated ``(capacity, bands)`` array of *already-normalised* vectors.
+  Each admitted row is normalised exactly once; every candidate chunk takes
+  one matrix product against a zero-copy view of the buffer, instead of
+  re-stacking and re-normalising the entire unique set per chunk;
+* the admission test runs in the **cosine domain**: a candidate survives when
+  its largest cosine against the members is below an arccos-calibrated
+  ``cos(angle_threshold)`` (see ``_cosine_admission_threshold``).  ``arccos``
+  is monotone decreasing, so the decision -- and therefore the unique set --
+  is the same as thresholding the angles, without evaluating a
+  transcendental over the ``(chunk, unique)`` matrix.  The cosines
+  themselves are produced by exactly the reference arithmetic (normalise
+  the chunk, one GEMM against the unit members), so the comparison sees the
+  same bits the seed kernel's ``arccos`` saw;
+* chunk survivors that may still be mutually similar are resolved against one
+  survivor-by-survivor cosine matrix (a single small GEMM walked in row
+  order), not a per-row Python loop of repeated ``vstack``/GEMM calls.
+
+:func:`screen_unique_set_reference` retains the seed implementation verbatim.
+It is the ground truth the equivalence property tests and
+``benchmarks/bench_screening_kernel.py`` compare the incremental kernel
+against: both make the same greedy decisions, so their unique sets (and
+every composite derived from them) are bit-identical under the default
+float64 compute dtype -- asserted across random scenes, thresholds,
+chunkings, strides and caps, and re-checked by the benchmark before any
+timing is trusted.  The one theoretical exception is a candidate whose
+cosine to a member lands within one rounding unit (~1e-16) of the
+threshold: the seed kernel evaluates that cosine twice in different BLAS
+call shapes (chunk matrix, then per-row recheck) and may see two
+roundings, so no single-evaluation kernel can match it on such inputs.
+No finite-precision scene sits on that boundary by accident.
 """
 
 from __future__ import annotations
@@ -27,11 +57,16 @@ import numpy as np
 _NORM_FLOOR = 1e-12
 
 
-def normalize_rows(matrix: np.ndarray) -> np.ndarray:
-    """Return ``matrix`` with every row scaled to unit Euclidean norm."""
-    matrix = np.asarray(matrix, dtype=np.float64)
+def normalize_rows(matrix: np.ndarray, *, dtype=np.float64) -> np.ndarray:
+    """Return ``matrix`` with every row scaled to unit Euclidean norm.
+
+    ``dtype`` selects the arithmetic precision (the compute-dtype policy of
+    the fast screening mode); the default float64 matches the seed kernel
+    bit for bit.
+    """
+    matrix = np.asarray(matrix, dtype=dtype)
     norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-    return matrix / np.maximum(norms, _NORM_FLOOR)
+    return matrix / np.maximum(norms, matrix.dtype.type(_NORM_FLOOR))
 
 
 def spectral_angles(candidates: np.ndarray, references: np.ndarray) -> np.ndarray:
@@ -56,9 +91,98 @@ def spectral_angles(candidates: np.ndarray, references: np.ndarray) -> np.ndarra
     return np.arccos(cos)
 
 
+class UniqueSetBuffer:
+    """Grow-by-doubling store of already-normalised unique-set members.
+
+    The buffer owns a preallocated ``(capacity, bands)`` array; admitted
+    members are written in place and read back through :attr:`view` -- a
+    zero-copy slice -- so the screening loop never re-stacks or re-normalises
+    the unique set.  Doubling keeps amortised admission cost O(bands).
+    """
+
+    def __init__(self, bands: int, *, capacity: int = 256,
+                 dtype=np.float64) -> None:
+        if bands < 1:
+            raise ValueError("bands must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._data = np.empty((capacity, bands), dtype=dtype)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def view(self) -> np.ndarray:
+        """Zero-copy ``(members, bands)`` view of the admitted rows."""
+        return self._data[: self._count]
+
+    def append(self, rows: np.ndarray) -> None:
+        """Admit ``rows`` (already normalised, ``(k, bands)``)."""
+        rows = np.atleast_2d(rows)
+        need = self._count + rows.shape[0]
+        if need > self._data.shape[0]:
+            capacity = self._data.shape[0]
+            while capacity < need:
+                capacity *= 2
+            grown = np.empty((capacity, self._data.shape[1]),
+                             dtype=self._data.dtype)
+            grown[: self._count] = self._data[: self._count]
+            self._data = grown
+        self._data[self._count: need] = rows
+        self._count = need
+
+
+def _cosine_admission_threshold(angle_threshold: float) -> float:
+    """The exclusive cosine bound equivalent to the arccos-domain decision.
+
+    Returns the smallest float ``T`` in ``[-1, 1]`` with ``arccos(T) <=
+    angle_threshold``, so that for every representable cosine ``c`` in
+    ``[-1, 1]``::
+
+        arccos(c) > angle_threshold  <=>  c < T
+
+    Simply using ``cos(angle_threshold)`` is *almost* right but can disagree
+    with the seed kernel on exact-boundary cosines because ``cos`` and
+    ``arccos`` round independently (e.g. ``cos(pi/2)`` is ``6.1e-17``, not
+    the ``0.0`` whose ``arccos`` equals the float ``pi/2``).  A float
+    bisection calibrates the constant against ``arccos`` itself -- ~60
+    iterations, paid once per screening pass.  (A nextafter walk would not
+    do: ``arccos`` is constant over ~1e16 consecutive floats around 0.)
+    """
+    if np.arccos(-1.0) <= angle_threshold:  # pragma: no cover - thr >= pi
+        return -1.0
+    low, high = -1.0, 1.0  # predicate arccos(c) <= thr: false at low, true at high
+    while True:
+        mid = (low + high) / 2.0
+        if not low < mid < high:
+            return high
+        if np.arccos(mid) <= angle_threshold:
+            high = mid
+        else:
+            low = mid
+
+
+def _validate_screening_args(pixels: np.ndarray, angle_threshold: float,
+                             sample_stride: int, chunk_size: int) -> None:
+    if pixels.ndim != 2:
+        raise ValueError(f"pixels must be 2-D (pixels, bands); got shape {pixels.shape}")
+    if not 0.0 < angle_threshold < np.pi:
+        raise ValueError("angle_threshold must be in (0, pi)")
+    if sample_stride < 1:
+        raise ValueError(f"sample_stride must be >= 1, got {sample_stride}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
+
 def screen_unique_set(pixels: np.ndarray, angle_threshold: float, *,
                       max_unique: int | None = None, sample_stride: int = 1,
-                      chunk_size: int = 2048) -> np.ndarray:
+                      chunk_size: int = 2048,
+                      compute_dtype=np.float64) -> np.ndarray:
     """Greedy spectral screening of a ``(pixels, bands)`` matrix (step 1).
 
     Parameters
@@ -71,9 +195,15 @@ def screen_unique_set(pixels: np.ndarray, angle_threshold: float, *,
     max_unique:
         Optional cap on the unique-set size (safety valve for noisy data).
     sample_stride:
-        Optional spatial sub-sampling of the candidates.
+        Optional spatial sub-sampling of the candidates (must be >= 1).
     chunk_size:
-        Number of candidates examined per vectorised block.
+        Number of candidates examined per vectorised block (must be >= 1).
+    compute_dtype:
+        Arithmetic precision of the admission test (float64 default, or
+        float32 for the documented fast mode).  The *returned* unique set is
+        always the raw float64 pixel vectors; only the normalisation and
+        cosine comparisons run in the reduced precision, so float32 may make
+        marginally different admission decisions near the threshold.
 
     Returns
     -------
@@ -81,10 +211,77 @@ def screen_unique_set(pixels: np.ndarray, angle_threshold: float, *,
         ``(unique, bands)`` float64 array of unique pixel vectors.
     """
     pixels = np.asarray(pixels, dtype=np.float64)
-    if pixels.ndim != 2:
-        raise ValueError(f"pixels must be 2-D (pixels, bands); got shape {pixels.shape}")
-    if not 0.0 < angle_threshold < np.pi:
-        raise ValueError("angle_threshold must be in (0, pi)")
+    _validate_screening_args(pixels, angle_threshold, sample_stride, chunk_size)
+    if sample_stride > 1:
+        pixels = pixels[::sample_stride]
+    if pixels.shape[0] == 0:
+        return np.empty((0, pixels.shape[1]), dtype=np.float64)
+
+    dtype = np.dtype(compute_dtype)
+    # The admission test compares cosines against an arccos-calibrated
+    # cos(threshold): arccos is monotone decreasing on [-1, 1], so "every
+    # angle > threshold" is exactly "every cosine < T" -- no arccos over the
+    # hot matrix (see _cosine_admission_threshold for the boundary
+    # calibration).  The cosines come from the reference arithmetic --
+    # normalise the chunk, multiply against the unit members -- so the
+    # cosine-domain comparison sees bit-for-bit the values whose arccos the
+    # seed kernel thresholded.
+    cos_threshold = dtype.type(_cosine_admission_threshold(angle_threshold))
+
+    buffer = UniqueSetBuffer(pixels.shape[1], dtype=dtype)
+    buffer.append(normalize_rows(pixels[:1], dtype=dtype))
+    indices: List[int] = [0]
+
+    for start in range(1, pixels.shape[0], chunk_size):
+        if max_unique is not None and len(buffer) >= max_unique:
+            break
+        chunk = normalize_rows(pixels[start:start + chunk_size], dtype=dtype)
+        cosines = chunk @ buffer.view.T
+        survivor_rows = np.nonzero(cosines.max(axis=1) < cos_threshold)[0]
+        if survivor_rows.size == 0:
+            continue
+        survivors = chunk[survivor_rows]
+        # Survivors may still be mutually similar: resolve them greedily.
+        # The first survivor (lowest pixel index) is always admitted; every
+        # remaining survivor within the threshold of it is eliminated in one
+        # vectorised cosine pass, and the procedure repeats on the shrinking
+        # remainder.  This makes the same decisions as the sequential greedy
+        # pass in O(admitted) vector operations instead of a Python loop
+        # over every survivor row.
+        admitted: List[np.ndarray] = []
+        admitted_rows: List[int] = []
+        remaining = survivors
+        remaining_rows = survivor_rows
+        while remaining.shape[0]:
+            if max_unique is not None and len(buffer) + len(admitted) >= max_unique:
+                break
+            admitted.append(remaining[0])
+            admitted_rows.append(int(remaining_rows[0]))
+            alive = remaining @ remaining[0] < cos_threshold
+            alive[0] = False  # the pivot itself, even when cos_threshold == 1.0
+            remaining = remaining[alive]
+            remaining_rows = remaining_rows[alive]
+        if admitted:
+            buffer.append(np.stack(admitted))
+            indices.extend(start + row for row in admitted_rows)
+    return pixels[np.asarray(indices, dtype=np.intp)]
+
+
+def screen_unique_set_reference(pixels: np.ndarray, angle_threshold: float, *,
+                                max_unique: int | None = None,
+                                sample_stride: int = 1,
+                                chunk_size: int = 2048) -> np.ndarray:
+    """The seed screening kernel, retained verbatim as ground truth.
+
+    Re-``vstack``s and re-normalises the whole unique set on every chunk and
+    resolves chunk survivors with a per-row Python loop.  The equivalence
+    property tests assert :func:`screen_unique_set` reproduces its output
+    bit for bit (see the module docstring for the one-ulp boundary caveat),
+    and ``benchmarks/bench_screening_kernel.py`` measures the incremental
+    kernel's speed-up against it.
+    """
+    pixels = np.asarray(pixels, dtype=np.float64)
+    _validate_screening_args(pixels, angle_threshold, sample_stride, chunk_size)
     if sample_stride > 1:
         pixels = pixels[::sample_stride]
     if pixels.shape[0] == 0:
@@ -113,7 +310,8 @@ def screen_unique_set(pixels: np.ndarray, angle_threshold: float, *,
 
 
 def merge_unique_sets(unique_sets: Sequence[np.ndarray], angle_threshold: float, *,
-                      max_unique: int | None = None, rescreen: bool = False) -> np.ndarray:
+                      max_unique: int | None = None, rescreen: bool = False,
+                      compute_dtype=np.float64) -> np.ndarray:
     """Merge per-partition unique sets into a single one (step 2).
 
     The paper only states that the per-worker sets are "sent back to the
@@ -129,7 +327,9 @@ def merge_unique_sets(unique_sets: Sequence[np.ndarray], angle_threshold: float,
     * ``rescreen=True``: re-screen the concatenation with the same threshold,
       collapsing cross-partition near-duplicates exactly as if the screening
       had been performed globally.  Cost grows as O(P * K^2) and is exposed
-      for the ablation benchmarks.
+      for the ablation benchmarks.  ``compute_dtype`` selects the re-screen
+      arithmetic (the compute-dtype policy applies to this screening pass
+      like any other); the plain union never does arithmetic.
     """
     non_empty = [np.asarray(s, dtype=np.float64) for s in unique_sets
                  if s is not None and len(s) > 0]
@@ -143,7 +343,8 @@ def merge_unique_sets(unique_sets: Sequence[np.ndarray], angle_threshold: float,
         if max_unique is not None and stacked.shape[0] > max_unique:
             stacked = stacked[:max_unique]
         return stacked
-    return screen_unique_set(stacked, angle_threshold, max_unique=max_unique)
+    return screen_unique_set(stacked, angle_threshold, max_unique=max_unique,
+                             compute_dtype=compute_dtype)
 
 
 # --------------------------------------------------------------------------
@@ -171,9 +372,11 @@ def merge_flops(total_members: int, merged_unique: int, bands: int, *,
 
 
 __all__ = [
+    "UniqueSetBuffer",
     "normalize_rows",
     "spectral_angles",
     "screen_unique_set",
+    "screen_unique_set_reference",
     "merge_unique_sets",
     "screening_flops",
     "merge_flops",

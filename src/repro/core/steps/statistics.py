@@ -89,13 +89,20 @@ def covariance_matrix(partial_sums: Sequence[np.ndarray], total_pixels: int) -> 
 
 def partition_pixel_matrix(pixels: np.ndarray, parts: int) -> List[np.ndarray]:
     """Split a pixel matrix into ``parts`` nearly equal row blocks (step 4's
-    distribution of the unique set)."""
+    distribution of the unique set).
+
+    The blocks are *views* into ``pixels`` -- contiguous row ranges need no
+    copy, so fanning the unique set out to the covariance workers costs
+    O(parts) bookkeeping rather than an extra O(unique * bands) copy per
+    partitioning.  (Blocks shipped to worker processes are serialised from
+    the view directly; in-process consumers only read them.)
+    """
     pixels = np.asarray(pixels)
     if parts < 1:
         raise ValueError("parts must be >= 1")
     if pixels.shape[0] < parts:
         parts = max(1, pixels.shape[0])
-    return [np.array(block) for block in np.array_split(pixels, parts, axis=0)]
+    return list(np.array_split(pixels, parts, axis=0))
 
 
 # --------------------------------------------------------------------------

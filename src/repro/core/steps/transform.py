@@ -107,28 +107,38 @@ def transformation_matrix(covariance: np.ndarray, mean: np.ndarray,
     return PCTBasis(eigenvalues=eigenvalues, components=components, mean=mean)
 
 
-def project(pixels: np.ndarray, basis: PCTBasis) -> np.ndarray:
+def project(pixels: np.ndarray, basis: PCTBasis, *,
+            compute_dtype=np.float64) -> np.ndarray:
     """Step 7: transform pixel vectors into principal component space.
 
     ``Cs_ij = A (Is_ij - m)`` for every pixel vector, vectorised as a single
     matrix product.  Returns a ``(pixels, n_components)`` float64 array.
+
+    ``compute_dtype`` selects the precision of the centring and the matrix
+    product (the fast mode runs them in float32 and widens the result back);
+    the float64 default is the seed arithmetic, bit for bit.
     """
     pixels = np.asarray(pixels, dtype=np.float64)
     if pixels.ndim != 2 or pixels.shape[1] != basis.bands:
         raise ValueError(
             f"pixels of shape {pixels.shape} do not match basis with {basis.bands} bands")
-    centred = pixels - basis.mean[None, :]
-    return centred @ basis.components.T
+    dtype = np.dtype(compute_dtype)
+    if dtype == np.float64:
+        centred = pixels - basis.mean[None, :]
+        return centred @ basis.components.T
+    centred = pixels.astype(dtype) - basis.mean.astype(dtype)[None, :]
+    return (centred @ basis.components.astype(dtype).T).astype(np.float64)
 
 
-def project_cube_block(block: np.ndarray, basis: PCTBasis) -> np.ndarray:
+def project_cube_block(block: np.ndarray, basis: PCTBasis, *,
+                       compute_dtype=np.float64) -> np.ndarray:
     """Project a ``(bands, rows, cols)`` sub-cube; returns ``(rows, cols, n_components)``."""
     block = np.asarray(block, dtype=np.float64)
     if block.ndim != 3 or block.shape[0] != basis.bands:
         raise ValueError(f"block of shape {block.shape} does not match basis bands {basis.bands}")
     bands, rows, cols = block.shape
     matrix = block.reshape(bands, -1).T
-    transformed = project(matrix, basis)
+    transformed = project(matrix, basis, compute_dtype=compute_dtype)
     return transformed.reshape(rows, cols, basis.n_components)
 
 

@@ -50,7 +50,7 @@ from __future__ import annotations
 import math
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,6 +67,7 @@ from ..scp.stages import (PoolStageExecutor, ThreadStageExecutor,
 from .partition import (SubcubeSpec, decompose, extract_subcube,
                         reassemble_composite, subcube_pixel_matrix)
 from .pipeline import FusionResult, SpectralScreeningPCT
+from .profiling import stage_timings_from_result
 from .steps.colormap import color_map, component_statistics
 from .steps.screening import merge_unique_sets, screen_unique_set
 from .steps.statistics import (covariance_matrix, covariance_sum, mean_vector,
@@ -185,12 +186,14 @@ class AdaptiveTileScheduler:
 # ---------------------------------------------------------------------------
 
 def screen_tile(cube: HyperspectralCube, spec: SubcubeSpec,
-                screening: ScreeningConfig) -> np.ndarray:
+                screening: ScreeningConfig,
+                compute_dtype: str = "float64") -> np.ndarray:
     """Stage 1 task: spectral screening of one sub-cube block."""
     block_pixels = subcube_pixel_matrix(extract_subcube(cube, spec))
     return screen_unique_set(block_pixels, screening.angle_threshold,
                              max_unique=screening.max_unique,
-                             sample_stride=screening.sample_stride)
+                             sample_stride=screening.sample_stride,
+                             compute_dtype=compute_dtype)
 
 
 def covariance_partial(part: np.ndarray, mean: np.ndarray) -> np.ndarray:
@@ -200,10 +203,10 @@ def covariance_partial(part: np.ndarray, mean: np.ndarray) -> np.ndarray:
 
 def project_tile(cube: HyperspectralCube, spec: SubcubeSpec, basis: PCTBasis,
                  n_components: int, normalize: bool, stretch_mean: np.ndarray,
-                 stretch_std: np.ndarray):
+                 stretch_std: np.ndarray, compute_dtype: str = "float64"):
     """Stage 3 task: projection + colour mapping of one output tile."""
-    components = project_cube_block(extract_subcube(cube, spec),
-                                    basis)[..., :n_components]
+    components = project_cube_block(extract_subcube(cube, spec), basis,
+                                    compute_dtype=compute_dtype)[..., :n_components]
     composite = color_map(components, normalize=normalize,
                           mean=stretch_mean, std=stretch_std)
     return components, composite
@@ -212,7 +215,8 @@ def project_tile(cube: HyperspectralCube, spec: SubcubeSpec, basis: PCTBasis,
 def project_tile_into(cube: HyperspectralCube, spec: SubcubeSpec,
                       basis: PCTBasis, n_components: int, normalize: bool,
                       stretch_mean: np.ndarray, stretch_std: np.ndarray,
-                      out: SharedCompositeHandle) -> Tuple[int, int]:
+                      out: SharedCompositeHandle,
+                      compute_dtype: str = "float64") -> Tuple[int, int]:
     """Stage 3 task, zero-copy variant: write the tile into ``out`` directly.
 
     The computed arrays never travel through the result spool -- the tile is
@@ -222,7 +226,8 @@ def project_tile_into(cube: HyperspectralCube, spec: SubcubeSpec,
     a killed task rewrites the same bytes.
     """
     components, composite = project_tile(cube, spec, basis, n_components,
-                                         normalize, stretch_mean, stretch_std)
+                                         normalize, stretch_mean, stretch_std,
+                                         compute_dtype)
     return write_output_tile(out, spec.row_start, spec.row_stop,
                              components, composite)
 
@@ -321,32 +326,51 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
     reference = SpectralScreeningPCT(config, n_components=n_components,
                                      full_projection=full_projection)
     screening = config.screening
+    compute_dtype = config.compute_dtype
     workers = max(config.partition.workers, 1)
     subcubes = min(config.partition.effective_subcubes, cube.rows)
+    # Driver-side wall clock per stage (the stages barrier on _gather, so
+    # the driver's elapsed time is the stage's critical-path time even
+    # though the tasks themselves run on pool slots).
+    stage_seconds: Dict[str, float] = {}
+    stage_marks: Dict[str, float] = {}
+
+    def _stage_done(stage: str, started: float) -> None:
+        stage_seconds[stage] = time.perf_counter() - started
 
     # Stage 1: per-sub-cube screening (parallel), merged in block order.
-    screen_futures = [executor.submit("screen", screen_tile, cube, spec, screening)
+    stage_marks["screening"] = time.perf_counter()
+    screen_futures = [executor.submit("screen", screen_tile, cube, spec,
+                                      screening, compute_dtype)
                       for spec in decompose(cube.rows, subcubes)]
     unique = merge_unique_sets(_gather(screen_futures), screening.angle_threshold,
                                max_unique=screening.max_unique,
-                               rescreen=screening.rescreen_merge)
+                               rescreen=screening.rescreen_merge,
+                               compute_dtype=compute_dtype)
+    _stage_done("screening", stage_marks["screening"])
 
     # Barrier A: global mean, then the unique-set partition of step 4.
+    stage_marks["mean"] = time.perf_counter()
     mean = mean_vector(unique)
     parts = partition_pixel_matrix(unique, workers)
+    _stage_done("mean", stage_marks["mean"])
 
     # Stage 2: per-partition covariance sums (parallel), combined in order.
+    stage_marks["covariance"] = time.perf_counter()
     cov_futures = [executor.submit("covariance", covariance_partial, part, mean)
                    for part in parts]
     covariance = covariance_matrix(_gather(cov_futures),
                                    total_pixels=unique.shape[0])
+    _stage_done("covariance", stage_marks["covariance"])
 
     # Barrier B: eigen-decomposition and global colour-stretch statistics.
+    stage_marks["eigendecomposition"] = time.perf_counter()
     rank = cube.bands if full_projection else n_components
     basis = transformation_matrix(covariance, mean, n_components=rank)
     stats_basis = PCTBasis(eigenvalues=basis.eigenvalues,
                            components=basis.components[:3], mean=basis.mean)
     stretch_mean, stretch_std = component_statistics(project(unique, stats_basis))
+    _stage_done("eigendecomposition", stage_marks["eigendecomposition"])
 
     # Stage 3: per-tile projection + colour mapping (parallel).  Tiles are
     # either returned as pickled blocks and reassembled here (spool path)
@@ -371,16 +395,19 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
             def submit_tile(spec: SubcubeSpec):
                 return executor.submit("project", project_tile_into, cube,
                                        spec, basis, n_components, normalize,
-                                       stretch_mean, stretch_std, out_handle)
+                                       stretch_mean, stretch_std, out_handle,
+                                       compute_dtype)
         else:
             def submit_tile(spec: SubcubeSpec):
                 return executor.submit("project", project_tile, cube, spec,
                                        basis, n_components, normalize,
-                                       stretch_mean, stretch_std)
+                                       stretch_mean, stretch_std, compute_dtype)
 
+        stage_marks["projection"] = time.perf_counter()
         tiles, payloads = _drive_projection(submit_tile, cube.rows, workers,
                                             adaptive=adaptive_tiles,
                                             initial_tile_rows=effective_tile_rows)
+        _stage_done("projection", stage_marks["projection"])
         if use_zero_copy:
             _validate_row_coverage(payloads, cube.rows)
             components = np.array(placement.components)
@@ -411,6 +438,19 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
             else:
                 placement.close()
 
+    phase_flops = reference.estimate_phase_flops(cube, unique.shape[0])
+    stage_rows = {"screening": cube.pixels, "mean": int(unique.shape[0]),
+                  "covariance": int(unique.shape[0]), "projection": cube.pixels}
+    # The pipeline's projection stage fuses steps 7 and 8 into one task, so
+    # its FLOP estimate is the sum of both cost models.
+    stage_flops = {"screening": phase_flops["screening"],
+                   "mean": phase_flops["mean"],
+                   "covariance": phase_flops["covariance"],
+                   "eigendecomposition": phase_flops["eigendecomposition"],
+                   "projection": phase_flops["projection"] + phase_flops["colormap"]}
+    stage_invocations = {"screening": len(screen_futures), "mean": 1,
+                         "covariance": len(cov_futures),
+                         "eigendecomposition": 1, "projection": len(tiles)}
     metadata = {
         "mode": "pipeline",
         "angle_threshold": screening.angle_threshold,
@@ -425,11 +465,15 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
         "tile_scheduler": "adaptive" if adaptive_tiles else "fixed",
         "zero_copy": use_zero_copy,
         "stage_tasks": len(screen_futures) + len(cov_futures) + len(tiles),
+        "compute_dtype": compute_dtype,
+        "stage_seconds": stage_seconds,
+        "stage_rows": stage_rows,
+        "stage_invocations": stage_invocations,
+        "stage_flops": stage_flops,
     }
     return FusionResult(composite=composite, components=components, basis=basis,
                         unique_set_size=int(unique.shape[0]),
-                        phase_flops=reference.estimate_phase_flops(cube, unique.shape[0]),
-                        metadata=metadata)
+                        phase_flops=phase_flops, metadata=metadata)
 
 
 # ---------------------------------------------------------------------------
@@ -508,7 +552,8 @@ def execute_pipeline_request(request, executor, *, backend_label: str,
                          workers=config.partition.workers,
                          subcubes=config.partition.effective_subcubes)
     return FusionReport(result=result, metrics=metrics, engine="pipeline",
-                        backend=backend_label)
+                        backend=backend_label,
+                        stage_timings=stage_timings_from_result(result))
 
 
 class PipelineEngine:

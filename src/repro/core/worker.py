@@ -53,7 +53,8 @@ def _compute_screen(task: TaskAssignment, config: FusionConfig) -> Compute:
     return Compute(fn=screen_unique_set,
                    args=(pixels, screening.angle_threshold),
                    kwargs={"max_unique": screening.max_unique,
-                           "sample_stride": screening.sample_stride},
+                           "sample_stride": screening.sample_stride,
+                           "compute_dtype": config.compute_dtype},
                    flops=flops_of, phase="screening")
 
 
@@ -67,19 +68,20 @@ def _compute_covariance(task: TaskAssignment) -> Compute:
 
 
 def _transform_and_map(block: np.ndarray, basis, stretch_mean, stretch_std,
-                       keep_components: int) -> Dict[str, np.ndarray]:
+                       keep_components: int,
+                       compute_dtype: str = "float64") -> Dict[str, np.ndarray]:
     """Steps 7-8 fused into one call: project a sub-cube and colour-map it.
 
     The projection uses every eigenvector carried by ``basis`` (the paper's
     full transform); only the leading ``keep_components`` planes are kept in
     the result to bound the size of the message sent back to the manager.
     """
-    components = project_cube_block(block, basis)
+    components = project_cube_block(block, basis, compute_dtype=compute_dtype)
     rgb = composite_from_block(components, mean=stretch_mean, std=stretch_std)
     return {"components": components[..., :keep_components], "rgb": rgb}
 
 
-def _compute_transform(task: TaskAssignment) -> Compute:
+def _compute_transform(task: TaskAssignment, config: FusionConfig) -> Compute:
     """Build the Compute effect for a transform + colour-map task."""
     block = task.data["block"]
     basis = task.data["basis"]
@@ -90,7 +92,8 @@ def _compute_transform(task: TaskAssignment) -> Compute:
     flops = (projection_flops(n_pixels, basis.bands, basis.n_components)
              + color_map_flops(n_pixels))
     return Compute(fn=_transform_and_map,
-                   args=(block, basis, stretch_mean, stretch_std, keep),
+                   args=(block, basis, stretch_mean, stretch_std, keep,
+                         config.compute_dtype),
                    flops=flops, phase="transform")
 
 
@@ -138,7 +141,7 @@ def worker_program(ctx: Context, *, manager: str = "manager",
             cov = yield _compute_covariance(task)
             result_data = {"cov_sum": cov, "count": int(task.data["pixels"].shape[0])}
         elif task.phase == PHASE_TRANSFORM:
-            block_result = yield _compute_transform(task)
+            block_result = yield _compute_transform(task, config)
             result_data = {"rgb": block_result["rgb"],
                            "components": block_result["components"],
                            "spec": task.spec}

@@ -72,15 +72,23 @@ def test_hard_process_death_is_detected_and_survivable(small_cube):
     app = engine.build_application(small_cube)
 
     def killer():
-        while not backend.live_replicas("worker.0"):
-            time.sleep(0.01)
-        time.sleep(0.05)  # early in phase 1, long before the run can finish
-        process = backend._tasks["worker.0#0"].process
-        try:
+        # Kill as soon as the OS process exists: the replica is still
+        # booting (imports, hello), far before it can drain all eight
+        # screening tasks -- the incremental screening kernel finishes
+        # phase 1 too quickly for a "sleep a while, then kill" window to be
+        # reliable.  The task is registered before its Process object is
+        # attached, so poll until the pid is observable.
+        deadline = time.time() + 30.0
+        while time.time() < deadline:
+            task = backend._tasks.get("worker.0#0")
+            process = task.process if task is not None else None
             if process is not None and process.pid is not None:
-                os.kill(process.pid, signal.SIGKILL)
-        except ProcessLookupError:  # pragma: no cover - lost the race
-            pass
+                try:
+                    os.kill(process.pid, signal.SIGKILL)
+                except ProcessLookupError:  # pragma: no cover - lost the race
+                    pass
+                return
+            time.sleep(0.001)
 
     threading.Thread(target=killer, daemon=True).start()
     run = backend.run(app, until_thread=MANAGER_NAME)
@@ -113,10 +121,17 @@ def test_killed_worker_is_regenerated_and_parity_holds(small_cube):
     backend.subscribe_thread_death(on_death)
 
     def killer():
-        while not backend.live_replicas("worker.0"):
-            time.sleep(0.005)
-        time.sleep(0.02)  # early in phase 1 so the kill precedes completion
-        backend.kill_thread("worker.0#0")
+        # Kill as soon as the replica's process exists, so the kill always
+        # precedes phase-1 completion (see the hard-death test above for
+        # why waiting any longer is unreliable).
+        deadline = time.time() + 30.0
+        while time.time() < deadline:
+            task = backend._tasks.get("worker.0#0")
+            if task is not None and task.process is not None \
+                    and task.process.pid is not None:
+                backend.kill_thread("worker.0#0")
+                return
+            time.sleep(0.001)
 
     threading.Thread(target=killer, daemon=True).start()
     run = backend.run(app, until_thread=MANAGER_NAME)

@@ -199,3 +199,44 @@ class TestCostModels:
     def test_eigendecomposition_cubic(self):
         assert eigendecomposition_flops(200) == pytest.approx(
             8 * eigendecomposition_flops(100))
+
+
+class TestPartitionViews:
+    def test_partition_returns_views_not_copies(self):
+        pixels = random_pixels(n=64, bands=8)
+        blocks = partition_pixel_matrix(pixels, 4)
+        for block in blocks:
+            assert block.base is pixels  # zero-copy row-range views
+        np.testing.assert_array_equal(np.vstack(blocks), pixels)
+
+    def test_view_partition_preserves_covariance(self):
+        pixels = random_pixels(n=51, bands=6, seed=3)
+        mean = mean_vector(pixels)
+        parts = partition_pixel_matrix(pixels, 3)
+        partial = [covariance_sum(p, mean) for p in parts]
+        direct = covariance_sum(pixels, mean)
+        np.testing.assert_allclose(sum(partial), direct, atol=1e-9)
+
+
+class TestProjectionComputeDtype:
+    def test_float64_explicit_matches_default(self):
+        pixels = random_pixels(n=40, bands=10, seed=5)
+        mean = mean_vector(pixels)
+        cov = covariance_sum(pixels, mean) / pixels.shape[0]
+        basis = transformation_matrix(0.5 * (cov + cov.T), mean)
+        np.testing.assert_array_equal(
+            project(pixels, basis),
+            project(pixels, basis, compute_dtype="float64"))
+
+    def test_float32_close_and_widened(self):
+        pixels = random_pixels(n=40, bands=10, seed=6)
+        mean = mean_vector(pixels)
+        cov = covariance_sum(pixels, mean) / pixels.shape[0]
+        basis = transformation_matrix(0.5 * (cov + cov.T), mean)
+        fast = project(pixels, basis, compute_dtype="float32")
+        assert fast.dtype == np.float64
+        np.testing.assert_allclose(fast, project(pixels, basis), atol=1e-3)
+        block = np.ascontiguousarray(pixels.T.reshape(10, 8, 5))
+        fast_block = project_cube_block(block, basis, compute_dtype="float32")
+        np.testing.assert_allclose(fast_block, project_cube_block(block, basis),
+                                   atol=1e-3)
