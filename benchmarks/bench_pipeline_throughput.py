@@ -22,7 +22,6 @@ The module doubles as a standalone script for the CI smoke job::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from dataclasses import dataclass
@@ -30,7 +29,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from _bench_utils import record_report, scaled_extent
+from _bench_utils import record_report, scaled_extent, write_bench_json
 import repro
 from repro.data.hydice import HydiceConfig, HydiceGenerator
 from repro.experiments.measured import available_cpus
@@ -211,11 +210,16 @@ def main(argv=None) -> int:
     print(verdict)
 
     if args.json_path:
-        payload = result.as_dict()
-        payload["verdict"] = verdict
-        with open(args.json_path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"wrote {args.json_path}")
+        metrics = [
+            ("serial_cubes_per_second", result.serial_cubes_per_second,
+             "cubes/s", "higher"),
+            ("pipeline_cubes_per_second", result.pipeline_cubes_per_second,
+             "cubes/s", "higher"),
+            ("streaming_speedup", result.speedup, "x", "higher"),
+        ]
+        write_bench_json(args.json_path, "pipeline_throughput", metrics,
+                         payload=result.as_dict(), verdict=verdict,
+                         quick=args.quick)
 
     if args.strict and not verdict.startswith("PASS"):
         print("strict mode: pipeline-throughput assertion did not PASS",

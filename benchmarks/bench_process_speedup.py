@@ -20,10 +20,9 @@ The module doubles as a standalone script for the CI smoke job::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
-from _bench_utils import record_report, scaled_extent
+from _bench_utils import record_report, scaled_extent, write_bench_json
 from repro.data.hydice import HydiceConfig, HydiceGenerator
 from repro.experiments.measured import (MeasuredSpeedupResult,
                                         run_measured_speedup)
@@ -133,11 +132,13 @@ def main(argv=None) -> int:
     print(verdict)
 
     if args.json_path:
-        payload = result.as_dict()
-        payload["verdict"] = verdict
-        with open(args.json_path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"wrote {args.json_path}")
+        metrics = [("sequential_seconds", result.sequential_seconds,
+                    "seconds", "lower")]
+        for workers, speedup in sorted(result.speedup().items()):
+            metrics.append((f"speedup_{workers}w", speedup, "x", "higher"))
+        write_bench_json(args.json_path, "process_speedup", metrics,
+                         payload=result.as_dict(), verdict=verdict,
+                         quick=args.quick)
 
     if args.strict and not verdict.startswith("PASS"):
         print("strict mode: speed-up assertion did not PASS", file=sys.stderr)

@@ -21,7 +21,6 @@ measures >= 3x); the CI smoke job uploads the JSON artifact::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from dataclasses import dataclass
@@ -29,7 +28,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from _bench_utils import record_report
+from _bench_utils import record_report, write_bench_json
 from repro.analysis.report import format_table
 from repro.core.steps.screening import (screen_unique_set,
                                         screen_unique_set_reference,
@@ -215,11 +214,16 @@ def main(argv=None) -> int:
     print(verdict)
 
     if args.json_path:
-        payload = sweep.as_dict()
-        payload["verdict"] = verdict
-        with open(args.json_path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"wrote {args.json_path}")
+        metrics = []
+        for point in sweep.points:
+            label = f"{point.threshold:g}".replace(".", "p")
+            metrics.append((f"speedup_thr{label}", point.speedup, "x",
+                            "higher"))
+            metrics.append((f"gflops_thr{label}", point.kernel_gflops,
+                            "GFLOP/s", "higher"))
+        write_bench_json(args.json_path, "screening_kernel", metrics,
+                         payload=sweep.as_dict(), verdict=verdict,
+                         quick=args.quick)
     return 0
 
 

@@ -20,7 +20,6 @@ The module doubles as a standalone script for the CI smoke job::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from dataclasses import dataclass
@@ -28,7 +27,7 @@ from typing import Dict
 
 import numpy as np
 
-from _bench_utils import record_report, scaled_extent
+from _bench_utils import record_report, scaled_extent, write_bench_json
 import repro
 from repro.data.hydice import HydiceConfig, HydiceGenerator
 from repro.experiments.measured import available_cpus
@@ -200,11 +199,14 @@ def main(argv=None) -> int:
     print(verdict)
 
     if args.json_path:
-        payload = result.as_dict()
-        payload["verdict"] = verdict
-        with open(args.json_path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"wrote {args.json_path}")
+        metrics = [
+            ("oneshot_seconds", result.oneshot_seconds, "seconds", "lower"),
+            ("session_seconds", result.session_seconds, "seconds", "lower"),
+            ("amortisation_factor", result.amortisation_factor, "x", "higher"),
+        ]
+        write_bench_json(args.json_path, "session_reuse", metrics,
+                         payload=result.as_dict(), verdict=verdict,
+                         quick=args.quick)
 
     if args.strict and not verdict.startswith("PASS"):
         print("strict mode: session-reuse assertion did not PASS", file=sys.stderr)

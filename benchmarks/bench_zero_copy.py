@@ -26,7 +26,6 @@ script for the CI smoke job::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from dataclasses import dataclass
@@ -34,7 +33,7 @@ from typing import Dict
 
 import numpy as np
 
-from _bench_utils import record_report, scaled_extent
+from _bench_utils import record_report, scaled_extent, write_bench_json
 import repro
 from repro.config import FusionConfig, PartitionConfig
 from repro.core.streaming import run_pipeline
@@ -243,11 +242,16 @@ def main(argv=None) -> int:
     print(verdict)
 
     if args.json_path:
-        payload = result.as_dict()
-        payload["verdict"] = verdict
-        with open(args.json_path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"wrote {args.json_path}")
+        metrics = [
+            ("bytes_ratio", result.bytes_ratio, "x", "higher"),
+            ("throughput_ratio", result.throughput_ratio, "x", "higher"),
+            ("spool_seconds", result.spool_seconds, "seconds", "lower"),
+            ("zero_copy_seconds", result.zero_copy_seconds, "seconds",
+             "lower"),
+        ]
+        write_bench_json(args.json_path, "zero_copy", metrics,
+                         payload=result.as_dict(), verdict=verdict,
+                         quick=args.quick)
 
     if args.strict and not verdict.startswith("PASS:"):
         print("strict mode: zero-copy assertions did not fully PASS",

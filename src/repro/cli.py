@@ -115,6 +115,76 @@ def _build_parser() -> argparse.ArgumentParser:
     figure5.add_argument("--no-tail-off", action="store_true",
                          help="skip the tail-off sweep at 16 workers")
     figure5.add_argument("--seed", type=int, default=0)
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="randomized differential-parity fuzzing of the "
+                     "engine x backend matrix")
+    fuzz.add_argument("--seconds", type=float, default=30.0,
+                      help="time budget for sampling fresh cases (default 30)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="seed of the case generator (a failing seed is a "
+                           "complete repro recipe)")
+    fuzz.add_argument("--max-cases", type=int, default=None,
+                      help="optional hard cap on sampled cases")
+    fuzz.add_argument("--corpus", default="tests/parity_corpus",
+                      help="parity corpus directory (replayed with --replay; "
+                           "default tests/parity_corpus)")
+    fuzz.add_argument("--failures-dir", default=None,
+                      help="where new failure repros are written "
+                           "(default: the corpus directory)")
+    fuzz.add_argument("--replay", action="store_true",
+                      help="replay the committed corpus instead of fuzzing "
+                           "fresh cases")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="record failures without shrinking them first")
+
+    ledger = subparsers.add_parser(
+        "bench-ledger", help="benchmark-trend ledger: record, gate and "
+                             "report benchmark JSON artifacts")
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+
+    def _ledger_common(sub):
+        sub.add_argument("--history-dir", default="benchmarks/history",
+                         help="ledger directory of *.jsonl history files "
+                              "(default benchmarks/history)")
+
+    record = ledger_sub.add_parser(
+        "record", help="append benchmark --json artifacts to the history")
+    record.add_argument("files", nargs="+", help="bench record JSON files")
+    _ledger_common(record)
+
+    check = ledger_sub.add_parser(
+        "check", help="gate benchmark --json artifacts against the "
+                      "rolling-median baseline")
+    check.add_argument("files", nargs="+", help="bench record JSON files")
+    _ledger_common(check)
+    check.add_argument("--noise-band", type=float, default=None,
+                       help="allowed fractional drift past the baseline "
+                            "median (default 0.25)")
+    check.add_argument("--window", type=int, default=None,
+                       help="rolling baseline window in records (default 20)")
+    check.add_argument("--min-samples", type=int, default=None,
+                       help="baseline samples required before the gate arms "
+                            "(default 3)")
+    check.add_argument("--ignore-host", action="store_true",
+                       help="compare against history from every host class, "
+                            "not just this one")
+
+    report = ledger_sub.add_parser(
+        "report", help="render the gate table (terminal and, optionally, "
+                       "a GitHub step summary)")
+    report.add_argument("files", nargs="*",
+                        help="bench record JSON files to report on "
+                             "(default: the newest record per benchmark in "
+                             "the history)")
+    _ledger_common(report)
+    report.add_argument("--noise-band", type=float, default=None)
+    report.add_argument("--window", type=int, default=None)
+    report.add_argument("--min-samples", type=int, default=None)
+    report.add_argument("--ignore-host", action="store_true")
+    report.add_argument("--github-summary", default=None, metavar="PATH",
+                        help="also append a markdown table to PATH "
+                             "(e.g. \"$GITHUB_STEP_SUMMARY\")")
     return parser
 
 
@@ -242,6 +312,84 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .paritylab import harness
+
+    if args.replay:
+        entries = harness.replay_corpus(args.corpus)
+        if not entries:
+            print(f"parity corpus {args.corpus} holds no repro-*.json files")
+            return 0
+        failures = 0
+        for entry in entries:
+            verdict = "ok" if entry.outcome.ok else "PARITY VIOLATION"
+            note = f" ({entry.note})" if entry.note else ""
+            print(f"{entry.path.name}: {verdict}{note}")
+            for violation in entry.outcome.violations:
+                failures += 1
+                print(f"  {violation.describe()}")
+        if failures:
+            print(f"corpus replay: {failures} violation(s) re-opened",
+                  file=sys.stderr)
+            return 1
+        print(f"corpus replay: {len(entries)} repro(s) green")
+        return 0
+
+    failures_dir = args.failures_dir if args.failures_dir else args.corpus
+    result = harness.fuzz(seconds=args.seconds, seed=args.seed,
+                          corpus_dir=failures_dir, max_cases=args.max_cases,
+                          shrink=not args.no_shrink)
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def _ledger_gate_options(args: argparse.Namespace) -> dict:
+    options = {"ignore_host": bool(getattr(args, "ignore_host", False))}
+    if getattr(args, "noise_band", None) is not None:
+        options["noise_band"] = args.noise_band
+    if getattr(args, "window", None) is not None:
+        options["window"] = args.window
+    if getattr(args, "min_samples", None) is not None:
+        options["min_samples"] = args.min_samples
+    return options
+
+
+def _cmd_bench_ledger(args: argparse.Namespace) -> int:
+    from .paritylab.ledger import (BenchLedger, render_markdown_table,
+                                   render_text_table)
+
+    ledger = BenchLedger(args.history_dir)
+    if args.ledger_command == "record":
+        for path in ledger.record_files(args.files):
+            print(f"recorded into {path}")
+        return 0
+
+    if args.ledger_command == "check":
+        checks = ledger.check_files(args.files, **_ledger_gate_options(args))
+        print(render_text_table(checks))
+        regressions = [check for check in checks if check.regressed]
+        for check in regressions:
+            print(f"REGRESSION: {check.describe()}", file=sys.stderr)
+        return 1 if regressions else 0
+
+    # report: gate table over explicit artifacts, or the newest history
+    # record per benchmark (note: a history record's own value is part of
+    # its baseline window in that mode).
+    if args.files:
+        checks = ledger.check_files(args.files, **_ledger_gate_options(args))
+    else:
+        checks = []
+        for record in ledger.latest_records():
+            checks.extend(ledger.check_record(record,
+                                              **_ledger_gate_options(args)))
+    print(render_text_table(checks))
+    if args.github_summary:
+        with open(args.github_summary, "a", encoding="utf-8") as fh:
+            fh.write(render_markdown_table(checks) + "\n")
+        print(f"appended markdown summary to {args.github_summary}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-fusion`` console script."""
     parser = _build_parser()
@@ -249,7 +397,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.verbose:
         configure_basic_logging()
     commands = {"generate": _cmd_generate, "fuse": _cmd_fuse, "sweep": _cmd_sweep,
-                "figure4": _cmd_figure4, "figure5": _cmd_figure5}
+                "figure4": _cmd_figure4, "figure5": _cmd_figure5,
+                "fuzz": _cmd_fuzz, "bench-ledger": _cmd_bench_ledger}
     handler = commands.get(args.command)
     if handler is None:
         parser.error(f"unknown command {args.command!r}")

@@ -1,0 +1,434 @@
+"""Benchmark-trend ledger: schema-versioned history with regression gates.
+
+Every benchmark in ``benchmarks/`` emits one ``--json`` artifact per run.
+Historically each had its own ad-hoc payload and the numbers evaporated
+with the CI run; this module turns them into *records* of one shared
+schema (:data:`RECORD_SCHEMA`) that are appended to a tracked
+``benchmarks/history/<benchmark>.jsonl`` ledger and gated against a
+rolling-median baseline.
+
+A record carries:
+
+* the benchmark name and a list of metrics -- ``(name, value, unit,
+  direction)`` where direction says which way is better,
+* the host fingerprint (platform/CPU/python digest) so baselines are only
+  compared within one host class -- a laptop's wall clock never gates a CI
+  runner's,
+* the git SHA and a UTC timestamp for provenance,
+* the benchmark's full original payload, so nothing the old artifacts
+  carried is lost.
+
+The gate (:meth:`BenchLedger.check_record`) takes the rolling median of
+the last ``window`` baseline values for each metric (same benchmark, same
+host class, same quick/full mode) and fails when the new value is worse
+than the median by more than ``noise_band`` (a fraction; 0.25 means a 25%
+band).  Fewer than ``min_samples`` baseline points means "no baseline yet"
+and the metric passes with that status -- the gate arms itself as history
+accumulates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: Schema tag of every ledger record (bump on layout changes).
+RECORD_SCHEMA = "repro-fusion/bench-record/v1"
+
+#: Default noise band of the regression gate: a metric may drift this
+#: fraction past the rolling-median baseline before the gate fires.
+DEFAULT_NOISE_BAND = 0.25
+
+#: Default rolling window (records per metric) the baseline median uses.
+DEFAULT_WINDOW = 20
+
+#: Minimum same-host baseline samples before the gate arms.
+DEFAULT_MIN_SAMPLES = 3
+
+_DIRECTIONS = ("lower", "higher")
+
+
+class LedgerError(ValueError):
+    """Raised on malformed records, unknown schemas or unreadable files."""
+
+
+# ---------------------------------------------------------------------------
+# host / provenance
+# ---------------------------------------------------------------------------
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def host_info() -> Dict[str, object]:
+    """The host-class description embedded in every record."""
+    info: Dict[str, object] = {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "python": ".".join(platform.python_version_tuple()[:2]),
+        "cpus": _usable_cpus(),
+    }
+    info["fingerprint"] = hashlib.sha256(
+        json.dumps(info, sort_keys=True).encode()).hexdigest()[:12]
+    return info
+
+
+def host_fingerprint() -> str:
+    """Digest of the host class (platform, arch, python line, CPU count)."""
+    return str(host_info()["fingerprint"])
+
+
+def git_sha(cwd: Optional[Path] = None) -> str:
+    """HEAD commit of the enclosing checkout, or ``"unknown"``."""
+    try:
+        proc = subprocess.run(["git", "rev-parse", "HEAD"],
+                              capture_output=True, text=True, timeout=10,
+                              cwd=cwd)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+# ---------------------------------------------------------------------------
+# records
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Metric:
+    """One gated measurement: name, value, unit and which way is better."""
+
+    name: str
+    value: float
+    unit: str
+    direction: str = "lower"
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise LedgerError(f"metric {self.name!r}: direction must be one "
+                              f"of {_DIRECTIONS}, got {self.direction!r}")
+        if not isinstance(self.value, (int, float)):
+            raise LedgerError(f"metric {self.name!r}: value must be numeric, "
+                              f"got {type(self.value).__name__}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "value": float(self.value),
+                "unit": self.unit, "direction": self.direction}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Metric":
+        return cls(name=str(data["name"]), value=float(data["value"]),
+                   unit=str(data.get("unit", "")),
+                   direction=str(data.get("direction", "lower")))
+
+
+def make_record(benchmark: str, metrics: Sequence[Metric], *,
+                verdict: Optional[str] = None,
+                payload: Optional[Dict[str, object]] = None,
+                quick: bool = False,
+                created_unix: Optional[float] = None,
+                cwd: Optional[Path] = None) -> Dict[str, object]:
+    """Build one schema-versioned ledger record."""
+    if not benchmark:
+        raise LedgerError("benchmark name must be non-empty")
+    if not metrics:
+        raise LedgerError(f"benchmark {benchmark!r}: at least one metric "
+                          f"is required")
+    return {
+        "schema": RECORD_SCHEMA,
+        "benchmark": benchmark,
+        "created_unix": (time.time() if created_unix is None
+                         else float(created_unix)),
+        "git_sha": git_sha(cwd),
+        "host": host_info(),
+        "quick": bool(quick),
+        "metrics": [metric.to_dict() for metric in metrics],
+        "verdict": verdict,
+        "payload": payload or {},
+    }
+
+
+def validate_record(record: Dict[str, object], *,
+                    source: str = "record") -> Dict[str, object]:
+    """Check a record's schema tag and required fields; return it."""
+    if not isinstance(record, dict):
+        raise LedgerError(f"{source}: not a JSON object")
+    schema = record.get("schema")
+    if schema != RECORD_SCHEMA:
+        raise LedgerError(
+            f"{source}: schema {schema!r} is not {RECORD_SCHEMA!r} -- "
+            f"regenerate it with the current benchmark harness")
+    for key in ("benchmark", "host", "metrics"):
+        if key not in record:
+            raise LedgerError(f"{source}: missing required field {key!r}")
+    for metric in record["metrics"]:
+        Metric.from_dict(metric)  # validates names/directions
+    return record
+
+
+def load_record_file(path: Path) -> Dict[str, object]:
+    """Read and validate one benchmark ``--json`` artifact."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LedgerError(f"{path}: unreadable bench record ({exc})") from exc
+    return validate_record(data, source=str(path))
+
+
+# ---------------------------------------------------------------------------
+# checks
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MetricCheck:
+    """Gate verdict for one metric of one record."""
+
+    benchmark: str
+    metric: str
+    unit: str
+    direction: str
+    current: float
+    baseline: Optional[float]
+    samples: int
+    delta: Optional[float]
+    status: str  # "ok" | "improved" | "regression" | "no-baseline"
+
+    @property
+    def regressed(self) -> bool:
+        return self.status == "regression"
+
+    def describe(self) -> str:
+        if self.baseline is None:
+            return (f"{self.benchmark}/{self.metric}: {self.current:.4g} "
+                    f"{self.unit} ({self.status}: {self.samples} baseline "
+                    f"sample(s))")
+        return (f"{self.benchmark}/{self.metric}: {self.current:.4g} "
+                f"{self.unit} vs baseline {self.baseline:.4g} "
+                f"({self.delta:+.1%}, {self.status})")
+
+
+class BenchLedger:
+    """Append-only benchmark history under one directory.
+
+    Each benchmark owns one ``<benchmark>.jsonl`` file; a line is one
+    record.  Lines with foreign schemas are skipped (counted, not fatal)
+    so a schema bump never bricks an old checkout's history.
+    """
+
+    def __init__(self, history_dir: Path) -> None:
+        self.history_dir = Path(history_dir)
+        self.skipped_lines = 0
+
+    # ------------------------------------------------------------ file layout
+    def path_for(self, benchmark: str) -> Path:
+        return self.history_dir / f"{benchmark}.jsonl"
+
+    def benchmarks(self) -> List[str]:
+        if not self.history_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.history_dir.glob("*.jsonl"))
+
+    # ------------------------------------------------------------------- I/O
+    def append(self, record: Dict[str, object]) -> Path:
+        validate_record(record)
+        self.history_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(str(record["benchmark"]))
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return path
+
+    def records(self, benchmark: str) -> List[Dict[str, object]]:
+        path = self.path_for(benchmark)
+        if not path.is_file():
+            return []
+        loaded: List[Dict[str, object]] = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.skipped_lines += 1
+                continue
+            if (isinstance(record, dict)
+                    and record.get("schema") == RECORD_SCHEMA):
+                loaded.append(record)
+            else:
+                self.skipped_lines += 1
+        loaded.sort(key=lambda r: r.get("created_unix", 0.0))
+        return loaded
+
+    # --------------------------------------------------------------- baseline
+    def baseline_values(self, benchmark: str, metric: str, *,
+                        fingerprint: Optional[str] = None,
+                        quick: Optional[bool] = None,
+                        window: int = DEFAULT_WINDOW) -> List[float]:
+        """The last ``window`` recorded values of one metric.
+
+        ``fingerprint``/``quick`` restrict the baseline to the matching
+        host class and benchmark mode; ``None`` disables that filter.
+        """
+        values: List[float] = []
+        for record in self.records(benchmark):
+            if fingerprint is not None:
+                host = record.get("host") or {}
+                if host.get("fingerprint") != fingerprint:
+                    continue
+            if quick is not None and bool(record.get("quick")) != quick:
+                continue
+            for entry in record.get("metrics", []):
+                if entry.get("name") == metric:
+                    values.append(float(entry["value"]))
+        return values[-window:]
+
+    # ------------------------------------------------------------------ gate
+    def check_record(self, record: Dict[str, object], *,
+                     noise_band: float = DEFAULT_NOISE_BAND,
+                     window: int = DEFAULT_WINDOW,
+                     min_samples: int = DEFAULT_MIN_SAMPLES,
+                     ignore_host: bool = False) -> List[MetricCheck]:
+        """Gate every metric of ``record`` against the rolling baseline."""
+        validate_record(record)
+        benchmark = str(record["benchmark"])
+        fingerprint = (None if ignore_host
+                       else (record.get("host") or {}).get("fingerprint"))
+        quick = bool(record.get("quick"))
+        checks: List[MetricCheck] = []
+        for entry in record.get("metrics", []):
+            metric = Metric.from_dict(entry)
+            values = self.baseline_values(benchmark, metric.name,
+                                          fingerprint=fingerprint,
+                                          quick=quick, window=window)
+            if len(values) < min_samples:
+                checks.append(MetricCheck(
+                    benchmark=benchmark, metric=metric.name, unit=metric.unit,
+                    direction=metric.direction, current=metric.value,
+                    baseline=None, samples=len(values), delta=None,
+                    status="no-baseline"))
+                continue
+            baseline = statistics.median(values)
+            if baseline == 0:
+                delta = 0.0 if metric.value == 0 else float("inf")
+            else:
+                delta = (metric.value - baseline) / abs(baseline)
+            if metric.direction == "lower":
+                regressed = delta > noise_band
+                improved = delta < -noise_band
+            else:
+                regressed = delta < -noise_band
+                improved = delta > noise_band
+            status = ("regression" if regressed
+                      else "improved" if improved else "ok")
+            checks.append(MetricCheck(
+                benchmark=benchmark, metric=metric.name, unit=metric.unit,
+                direction=metric.direction, current=metric.value,
+                baseline=baseline, samples=len(values), delta=delta,
+                status=status))
+        return checks
+
+    def check_files(self, paths: Iterable[Path], **gate_options
+                    ) -> List[MetricCheck]:
+        """Gate a batch of bench ``--json`` artifacts; order preserved."""
+        checks: List[MetricCheck] = []
+        for path in paths:
+            checks.extend(self.check_record(load_record_file(path),
+                                            **gate_options))
+        return checks
+
+    def record_files(self, paths: Iterable[Path]) -> List[Path]:
+        """Validate and append a batch of artifacts; returns ledger paths."""
+        return [self.append(load_record_file(path)) for path in paths]
+
+    def latest_records(self) -> List[Dict[str, object]]:
+        """The newest record of every benchmark in the ledger."""
+        latest = []
+        for benchmark in self.benchmarks():
+            records = self.records(benchmark)
+            if records:
+                latest.append(records[-1])
+        return latest
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def _check_rows(checks: Sequence[MetricCheck]) -> List[List[str]]:
+    rows = []
+    for check in checks:
+        baseline = ("-" if check.baseline is None
+                    else f"{check.baseline:.4g}")
+        delta = "-" if check.delta is None else f"{check.delta:+.1%}"
+        rows.append([check.benchmark, check.metric, check.unit,
+                     baseline, f"{check.current:.4g}", delta, check.status])
+    return rows
+
+
+def render_text_table(checks: Sequence[MetricCheck],
+                      title: str = "benchmark-trend ledger") -> str:
+    """Fixed-width gate table for terminals."""
+    headers = ["benchmark", "metric", "unit", "baseline", "current",
+               "delta", "status"]
+    rows = _check_rows(checks)
+    widths = [max(len(headers[i]), *(len(row[i]) for row in rows))
+              if rows else len(headers[i]) for i in range(len(headers))]
+    lines = [title,
+             "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+             "  ".join("-" * widths[i] for i in range(len(headers)))]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    if not rows:
+        lines.append("(no metrics)")
+    return "\n".join(lines)
+
+
+def render_markdown_table(checks: Sequence[MetricCheck],
+                          title: str = "Benchmark-trend ledger") -> str:
+    """GitHub-flavoured markdown table for ``$GITHUB_STEP_SUMMARY``."""
+    lines = [f"### {title}", "",
+             "| benchmark | metric | unit | baseline | current | delta "
+             "| status |",
+             "| --- | --- | --- | --- | --- | --- | --- |"]
+    for row in _check_rows(checks):
+        status = row[6]
+        badge = {"ok": "✅ ok", "improved": "🟢 improved",
+                 "regression": "🔴 regression",
+                 "no-baseline": "⚪ no baseline"}.get(status, status)
+        lines.append("| " + " | ".join(row[:6] + [badge]) + " |")
+    if not checks:
+        lines.append("| _(no metrics)_ |  |  |  |  |  |  |")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "RECORD_SCHEMA",
+    "DEFAULT_NOISE_BAND",
+    "DEFAULT_WINDOW",
+    "DEFAULT_MIN_SAMPLES",
+    "LedgerError",
+    "Metric",
+    "MetricCheck",
+    "BenchLedger",
+    "make_record",
+    "validate_record",
+    "load_record_file",
+    "host_info",
+    "host_fingerprint",
+    "git_sha",
+    "render_text_table",
+    "render_markdown_table",
+]

@@ -9,8 +9,43 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from _pytest.runner import runtestprotocol
 
 from repro.cluster.presets import sun_ultra_lan
+
+#: Hard ceiling on reruns any ``flaky`` mark can request -- the guard exists
+#: to absorb rare scheduler/SIGKILL races, not to paper over real failures.
+MAX_FLAKY_RERUNS = 2
+
+
+def pytest_runtest_protocol(item, nextitem):
+    """Bounded rerun guard for tests marked ``@pytest.mark.flaky``.
+
+    The SIGKILL crash-matrix tests race the OS scheduler on purpose (kill a
+    worker mid-stage, assert recovery); on a loaded single-core CI runner the
+    kill can occasionally land outside the stage window being exercised.  A
+    marked test that fails is retried up to ``reruns`` times (capped at
+    ``MAX_FLAKY_RERUNS``); only the final attempt's reports are logged, so a
+    recovered flake shows up as a plain pass.  Unmarked tests are untouched.
+    """
+    marker = item.get_closest_marker("flaky")
+    if marker is None:
+        return None
+    reruns = min(int(marker.kwargs.get("reruns", 1)), MAX_FLAKY_RERUNS)
+    item.ihook.pytest_runtest_logstart(nodeid=item.nodeid,
+                                       location=item.location)
+    for attempt in range(reruns + 1):
+        reports = runtestprotocol(item, nextitem=nextitem, log=False)
+        failed = any(report.failed for report in reports)
+        if not failed or attempt == reruns:
+            for report in reports:
+                item.ihook.pytest_runtest_logreport(report=report)
+            break
+        # Rebuild the fixture request so the next attempt starts clean.
+        item._initrequest()
+    item.ihook.pytest_runtest_logfinish(nodeid=item.nodeid,
+                                        location=item.location)
+    return True
 from repro.config import FusionConfig, PartitionConfig, ResilienceConfig, ScreeningConfig
 from repro.data.hydice import HydiceConfig, HydiceGenerator
 

@@ -374,6 +374,7 @@ class TestPipelineCrashMatrix:
 
     STAGES = ["screen", "covariance", "project"]
 
+    @pytest.mark.flaky(reruns=2)
     @pytest.mark.parametrize("stage", STAGES)
     @pytest.mark.parametrize("zero_copy", [True, False],
                              ids=["zero-copy", "spool"])
@@ -393,6 +394,7 @@ class TestPipelineCrashMatrix:
             assert report.result.metadata["zero_copy"] is zero_copy
             np.testing.assert_array_equal(report.composite, reference.composite)
 
+    @pytest.mark.flaky(reruns=2)
     @pytest.mark.parametrize("stage", STAGES)
     def test_exhausted_retry_budget_raises_typed_error(self, tiny_cube,
                                                        fast_config, stage):

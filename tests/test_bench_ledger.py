@@ -1,0 +1,226 @@
+"""Tests of the benchmark-trend ledger and its CLI regression gates."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.paritylab.ledger import (DEFAULT_NOISE_BAND, RECORD_SCHEMA,
+                                    BenchLedger, LedgerError, Metric,
+                                    host_fingerprint, load_record_file,
+                                    make_record, render_markdown_table,
+                                    render_text_table, validate_record)
+
+
+def record(value=10.0, *, benchmark="speed", name="elapsed_seconds",
+           direction="lower", created=0.0, quick=False):
+    return make_record(benchmark,
+                       [Metric(name, value, "seconds", direction)],
+                       created_unix=created, quick=quick)
+
+
+def seeded_ledger(tmp_path, values=(10.0, 10.5, 9.5, 10.2), **kwargs):
+    """A history directory holding one baseline value per record."""
+    ledger = BenchLedger(tmp_path / "history")
+    for index, value in enumerate(values):
+        ledger.append(record(value, created=float(index), **kwargs))
+    return ledger
+
+
+def single_check(ledger, rec, **gate):
+    checks = ledger.check_record(rec, **gate)
+    assert len(checks) == 1
+    return checks[0]
+
+
+# ---------------------------------------------------------------------------
+# records
+# ---------------------------------------------------------------------------
+
+def test_record_carries_schema_host_and_provenance():
+    rec = record(3.2)
+    validate_record(rec)
+    assert rec["schema"] == RECORD_SCHEMA
+    assert rec["host"]["fingerprint"] == host_fingerprint()
+    assert rec["git_sha"] and rec["metrics"][0]["direction"] == "lower"
+
+
+def test_record_requires_metrics_and_valid_directions():
+    with pytest.raises(LedgerError, match="at least one metric"):
+        make_record("speed", [])
+    with pytest.raises(LedgerError, match="direction"):
+        Metric("elapsed", 1.0, "s", "sideways")
+    with pytest.raises(LedgerError, match="numeric"):
+        Metric("elapsed", "fast", "s", "lower")
+
+
+def test_foreign_schema_artifacts_are_rejected(tmp_path):
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({"schema": "something/else", "benchmark": "x"}))
+    with pytest.raises(LedgerError, match="regenerate"):
+        load_record_file(path)
+    path.write_text("not json at all")
+    with pytest.raises(LedgerError, match="unreadable"):
+        load_record_file(path)
+
+
+def test_append_round_trips_and_skips_foreign_lines(tmp_path):
+    ledger = seeded_ledger(tmp_path, values=(2.0, 1.0))
+    path = ledger.path_for("speed")
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write("garbage line\n")
+        fh.write(json.dumps({"schema": "foreign/v0"}) + "\n")
+    loaded = ledger.records("speed")
+    assert [r["metrics"][0]["value"] for r in loaded] == [2.0, 1.0]
+    assert ledger.skipped_lines == 2  # counted, never fatal
+
+
+# ---------------------------------------------------------------------------
+# the gate
+# ---------------------------------------------------------------------------
+
+def test_in_band_drift_passes_the_gate(tmp_path):
+    ledger = seeded_ledger(tmp_path)
+    check = single_check(ledger, record(11.0, created=99.0))
+    assert check.status == "ok" and not check.regressed
+    assert check.baseline == pytest.approx(10.1)  # rolling median
+    assert check.delta == pytest.approx((11.0 - 10.1) / 10.1)
+
+
+def test_thirty_percent_regression_fails_the_gate(tmp_path):
+    ledger = seeded_ledger(tmp_path)
+    check = single_check(ledger, record(10.1 * 1.30, created=99.0))
+    assert check.regressed
+    assert check.delta > DEFAULT_NOISE_BAND
+    assert "regression" in check.describe()
+
+
+def test_higher_is_better_metrics_gate_in_the_other_direction(tmp_path):
+    ledger = seeded_ledger(tmp_path, values=(4.0, 4.1, 3.9, 4.0),
+                           name="speedup", direction="higher")
+    drop = record(4.0 * 0.70, name="speedup", direction="higher", created=99.0)
+    assert single_check(ledger, drop).regressed
+    gain = record(4.0 * 1.40, name="speedup", direction="higher", created=99.0)
+    assert single_check(ledger, gain).status == "improved"
+
+
+def test_gate_stays_disarmed_below_min_samples(tmp_path):
+    ledger = seeded_ledger(tmp_path, values=(10.0, 10.0))
+    check = single_check(ledger, record(99.0, created=99.0))
+    assert check.status == "no-baseline" and not check.regressed
+    assert check.baseline is None and check.samples == 2
+    # ... and arms at the default threshold of 3 samples.
+    ledger.append(record(10.0, created=2.5))
+    assert single_check(ledger, record(99.0, created=99.0)).regressed
+
+
+def test_baselines_are_scoped_to_host_class_and_mode(tmp_path):
+    ledger = BenchLedger(tmp_path / "history")
+    for index in range(4):
+        foreign = record(10.0, created=float(index))
+        foreign["host"] = dict(foreign["host"], fingerprint="deadbeefcafe")
+        ledger.append(foreign)
+    probe = record(99.0, created=99.0)
+    # A laptop's history must never gate this host's run ...
+    assert single_check(ledger, probe).status == "no-baseline"
+    # ... unless the operator explicitly widens the comparison.
+    assert single_check(ledger, probe, ignore_host=True).regressed
+    # Quick-mode records likewise never gate full-mode runs.
+    for index in range(4):
+        ledger.append(record(10.0, created=10.0 + index, quick=True))
+    assert single_check(ledger, probe).status == "no-baseline"
+
+
+def test_rolling_window_forgets_ancient_history(tmp_path):
+    ledger = seeded_ledger(tmp_path, values=(100.0, 100.0, 100.0,
+                                             10.0, 10.0, 10.0))
+    check = single_check(ledger, record(10.5, created=99.0), window=3)
+    assert check.status == "ok" and check.baseline == pytest.approx(10.0)
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def test_tables_render_every_gate_status(tmp_path):
+    ledger = seeded_ledger(tmp_path)
+    checks = (ledger.check_record(record(10.0, created=99.0))
+              + ledger.check_record(record(20.0, created=99.0)))
+    text = render_text_table(checks)
+    assert "baseline" in text and "regression" in text
+    markdown = render_markdown_table(checks, title="Bench gates")
+    assert markdown.startswith("### Bench gates")
+    assert "| --- |" in markdown
+    assert "🔴 regression" in markdown and "✅ ok" in markdown
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def artifact(tmp_path, name, rec):
+    path = tmp_path / name
+    path.write_text(json.dumps(rec), encoding="utf-8")
+    return str(path)
+
+
+def test_cli_record_then_check_then_report(tmp_path, capsys):
+    history = str(tmp_path / "history")
+    for index, value in enumerate((10.0, 10.4, 9.8)):
+        art = artifact(tmp_path, f"run{index}.json",
+                       record(value, created=float(index)))
+        assert cli.main(["bench-ledger", "record", art,
+                         "--history-dir", history]) == 0
+    assert "recorded into" in capsys.readouterr().out
+
+    good = artifact(tmp_path, "good.json", record(10.1, created=99.0))
+    assert cli.main(["bench-ledger", "check", good,
+                     "--history-dir", history]) == 0
+
+    bad = artifact(tmp_path, "bad.json", record(13.5, created=99.0))
+    assert cli.main(["bench-ledger", "check", bad,
+                     "--history-dir", history]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION: speed/elapsed_seconds" in captured.err
+
+    summary = tmp_path / "summary.md"
+    assert cli.main(["bench-ledger", "report", bad, "--history-dir", history,
+                     "--github-summary", str(summary)]) == 0
+    assert "🔴 regression" in summary.read_text(encoding="utf-8")
+
+
+def test_cli_check_honours_gate_options(tmp_path):
+    history = str(tmp_path / "history")
+    for index, value in enumerate((10.0, 10.0, 10.0)):
+        art = artifact(tmp_path, f"run{index}.json",
+                       record(value, created=float(index)))
+        cli.main(["bench-ledger", "record", art, "--history-dir", history])
+    bad = artifact(tmp_path, "bad.json", record(14.0, created=99.0))
+    # A widened noise band waves the same artifact through.
+    assert cli.main(["bench-ledger", "check", bad, "--history-dir", history,
+                     "--noise-band", "0.5"]) == 0
+    # A raised min-samples floor disarms the gate entirely.
+    assert cli.main(["bench-ledger", "check", bad, "--history-dir", history,
+                     "--min-samples", "10"]) == 0
+
+
+def test_cli_rejects_foreign_schema_artifacts(tmp_path, capsys):
+    history = str(tmp_path / "history")
+    stale = artifact(tmp_path, "stale.json",
+                     {"schema": "ancient/v0", "benchmark": "speed"})
+    assert cli.main(["bench-ledger", "record", stale,
+                     "--history-dir", history]) == 2
+    assert "regenerate" in capsys.readouterr().err
+
+
+def test_cli_report_defaults_to_latest_history_records(tmp_path, capsys):
+    history = str(tmp_path / "history")
+    for index, value in enumerate((10.0, 10.2)):
+        art = artifact(tmp_path, f"run{index}.json",
+                       record(value, created=float(index)))
+        cli.main(["bench-ledger", "record", art, "--history-dir", history])
+    assert cli.main(["bench-ledger", "report", "--history-dir", history]) == 0
+    out = capsys.readouterr().out
+    assert "elapsed_seconds" in out and "no-baseline" in out

@@ -57,6 +57,7 @@ def test_measured_metrics_are_wall_clock(tiny_cube):
 
 
 @pytest.mark.slow
+@pytest.mark.flaky(reruns=2)
 def test_hard_process_death_is_detected_and_survivable(small_cube):
     # A worker SIGKILLed behind the backend's back (indistinguishable from a
     # segfault or an OOM kill) must be detected by the parent's liveness
@@ -100,6 +101,7 @@ def test_hard_process_death_is_detected_and_survivable(small_cube):
 
 
 @pytest.mark.slow
+@pytest.mark.flaky(reruns=2)
 def test_killed_worker_is_regenerated_and_parity_holds(small_cube):
     config = make_config(workers=2, subcubes=8)
     sequential = SpectralScreeningPCT(config).fuse(small_cube)
