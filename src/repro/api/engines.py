@@ -30,11 +30,12 @@ it through this registry.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Protocol, Type, runtime_checkable
+from typing import (Callable, Dict, List, Optional, Protocol, Type, TypeVar,
+                    cast, runtime_checkable)
 
 from ..cluster.metrics import RunMetrics
 from ..core.distributed import _DistributedPCT
-from ..core.pipeline import SpectralScreeningPCT
+from ..core.pipeline import FusionResult, SpectralScreeningPCT
 from ..core.profiling import (StageTiming, build_stage_timings,
                               stage_timings_from_result)
 from ..core.resilient import _ResilientPCT
@@ -62,12 +63,15 @@ class FusionEngine(Protocol):
         ...
 
 
-_ENGINES: Dict[str, Type] = {}
+_ENGINES: Dict[str, Type[object]] = {}
+
+#: The decorated engine class passes through :func:`register_engine` unchanged.
+_EngineClass = TypeVar("_EngineClass", bound=Type[object])
 
 
-def register_engine(name: str):
+def register_engine(name: str) -> Callable[[_EngineClass], _EngineClass]:
     """Class decorator registering a :class:`FusionEngine` under ``name``."""
-    def decorator(cls):
+    def decorator(cls: _EngineClass) -> _EngineClass:
         if name in _ENGINES:
             raise ValueError(f"engine {name!r} is already registered")
         cls.name = name
@@ -93,7 +97,7 @@ def get_engine(name: str) -> FusionEngine:
     except (KeyError, TypeError):
         raise ValueError(f"unknown engine {name!r}; registered engines: "
                          f"{', '.join(engine_names())}") from None
-    return cls()
+    return cast(FusionEngine, cls())
 
 
 def _reject_resilience_options(request: FusionRequest, engine: str) -> None:
@@ -105,7 +109,7 @@ def _reject_resilience_options(request: FusionRequest, engine: str) -> None:
                 f"use engine='resilient' for replication, attacks and camouflage")
 
 
-def _backend_stage_timings(request: FusionRequest, result,
+def _backend_stage_timings(request: FusionRequest, result: FusionResult,
                            metrics: RunMetrics) -> Dict[str, StageTiming]:
     """Stage timings of a manager/worker run, from the backend's metrics.
 

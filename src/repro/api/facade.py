@@ -8,7 +8,7 @@ setup the one-shot path pays per call.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from ..config import FusionConfig
 from ..data.cube import HyperspectralCube
@@ -29,7 +29,7 @@ def fuse(cube: HyperspectralCube, *,
          workers: Optional[int] = None,
          subcubes: Optional[int] = None,
          config: Optional[FusionConfig] = None,
-         **options) -> FusionReport:
+         **options: Any) -> FusionReport:
     """Fuse ``cube`` into a colour composite with one call.
 
     Parameters

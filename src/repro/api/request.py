@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
 
 from ..cluster.machine import Cluster
 from ..cluster.metrics import RunMetrics
@@ -135,7 +137,7 @@ class FusionRequest:
             base = dataclasses.replace(base, compute_dtype=self.compute_dtype)
         return base
 
-    def replace(self, **changes) -> "FusionRequest":
+    def replace(self, **changes: Any) -> "FusionRequest":
         """A copy of this request with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
 
@@ -181,12 +183,12 @@ class FusionReport:
 
     # ------------------------------------------------------------- shortcuts
     @property
-    def composite(self):
+    def composite(self) -> "np.ndarray[Any, Any]":
         """``(rows, cols, 3)`` colour composite in [0, 1]."""
         return self.result.composite
 
     @property
-    def components(self):
+    def components(self) -> "np.ndarray[Any, Any]":
         return self.result.components
 
     @property

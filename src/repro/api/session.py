@@ -40,8 +40,9 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
+from ..config import FusionConfig
 from ..core.streaming import execute_pipeline_request, validate_pipeline_request
 from ..data.cube import HyperspectralCube
 from ..data.shared import OutputPool, SharedCube
@@ -101,7 +102,7 @@ class FusionSession:
                  start_method: Optional[str] = None,
                  warm: bool = True,
                  max_placements: int = DEFAULT_MAX_PLACEMENTS,
-                 **options) -> None:
+                 **options: Any) -> None:
         self._engine = get_engine(engine)  # fail fast on typos
         if max_placements < 1:
             raise ValueError("max_placements must be >= 1")
@@ -142,7 +143,8 @@ class FusionSession:
         # executor shared by every in-flight pipeline run, the driver
         # threads of submit()/fuse_stream(), and the pool of reusable
         # zero-copy output placements.
-        self._stage_executor = None
+        self._stage_executor: Optional[
+            Union[PoolStageExecutor, ThreadStageExecutor]] = None
         self._drivers: Optional[ThreadPoolExecutor] = None
         self._driver_width: Optional[int] = None
         self._output_pool: Optional[OutputPool] = None
@@ -183,13 +185,13 @@ class FusionSession:
             replication = resilience.replication_level if resilience is not None else 2
         return config.partition.workers * replication + 1
 
-    def _probe_config(self):
+    def _probe_config(self) -> FusionConfig:
         probe = FusionRequest(cube=None, engine=self.engine,  # type: ignore[arg-type]
                               backend=self._spec, **self._defaults)
         return probe.resolved_config()
 
     # ------------------------------------------------------------------ fuse
-    def fuse(self, cube: HyperspectralCube, **overrides) -> FusionReport:
+    def fuse(self, cube: HyperspectralCube, **overrides: Any) -> FusionReport:
         """Run one fusion on the session's engine/backend pair.
 
         ``overrides`` accepts any :class:`FusionRequest` field except
@@ -229,7 +231,7 @@ class FusionSession:
         return report
 
     def fuse_many(self, cubes: Iterable[HyperspectralCube],
-                  **overrides) -> List[FusionReport]:
+                  **overrides: Any) -> List[FusionReport]:
         """Fuse a batch of cubes back to back on the warm resources.
 
         An empty batch returns an empty list on every engine (after the
@@ -241,7 +243,8 @@ class FusionSession:
         return [self.fuse(cube, **overrides) for cube in cubes]
 
     # ------------------------------------------------------------- streaming
-    def submit(self, cube: HyperspectralCube, **overrides) -> "Future[FusionReport]":
+    def submit(self, cube: HyperspectralCube,
+               **overrides: Any) -> "Future[FusionReport]":
         """Queue one fusion; returns a future resolving to its report.
 
         On the pipeline engine up to ``max_inflight`` submissions execute
@@ -256,7 +259,7 @@ class FusionSession:
             .submit(self.fuse, cube, **overrides)
 
     def fuse_stream(self, cubes: Iterable[HyperspectralCube],
-                    **overrides) -> Iterator[FusionReport]:
+                    **overrides: Any) -> Iterator[FusionReport]:
         """Fuse a stream of cubes, yielding reports in input order.
 
         A bounded window of cubes is kept in flight (``max_inflight``), so
@@ -278,7 +281,7 @@ class FusionSession:
         return self._stream(cubes, inflight, overrides)
 
     def _stream(self, cubes: Iterable[HyperspectralCube], inflight: int,
-                overrides: dict) -> Iterator[FusionReport]:
+                overrides: Dict[str, Any]) -> Iterator[FusionReport]:
         window: "deque[Future[FusionReport]]" = deque()
         try:
             for cube in cubes:
@@ -291,7 +294,7 @@ class FusionSession:
             for future in window:  # abandoned mid-stream: drop what we can
                 future.cancel()
 
-    def _max_inflight(self, overrides: Optional[dict] = None) -> int:
+    def _max_inflight(self, overrides: Optional[Dict[str, Any]] = None) -> int:
         if self.engine != "pipeline":
             # Backends of the batch engines run one fusion at a time (one
             # pool outbox per run); the stream still flows, just serially.
@@ -304,7 +307,7 @@ class FusionSession:
             raise ValueError("max_inflight must be >= 1")
         return inflight
 
-    def _stage_runtime(self):
+    def _stage_runtime(self) -> Union[PoolStageExecutor, ThreadStageExecutor]:
         """The session-wide stage executor (created on first pipeline run)."""
         with self._lock:
             self._check_open()
@@ -415,7 +418,7 @@ class FusionSession:
         if self._closed:
             raise RuntimeError("fusion session is closed")
 
-    def _check_overrides(self, overrides: dict) -> None:
+    def _check_overrides(self, overrides: Dict[str, Any]) -> None:
         illegal = set(overrides) - _OVERRIDABLE
         if illegal:
             raise ValueError(f"cannot override {sorted(illegal)} per call; "
@@ -477,7 +480,7 @@ class FusionSession:
                 f"runs={self._runs} {state}>")
 
 
-def open_session(**kwargs) -> FusionSession:
+def open_session(**kwargs: Any) -> FusionSession:
     """Open a :class:`FusionSession`; see the class for parameters.
 
     The name mirrors :func:`open`: sessions hold operating-system resources

@@ -138,6 +138,22 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="record failures without shrinking them first")
 
+    lint = subparsers.add_parser(
+        "lint", help="concurrency/shared-memory invariant checker "
+                     "(AST rules RPL001-RPL006)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="finding output format (default text)")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also print findings silenced by "
+                           "'# repro: allow[RPLxxx]' directives")
+    lint.add_argument("--fail-dead-suppressions", action="store_true",
+                      help="exit non-zero when a suppression no longer "
+                           "silences anything (prune gate)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rule table and exit")
+
     ledger = subparsers.add_parser(
         "bench-ledger", help="benchmark-trend ledger: record, gate and "
                              "report benchmark JSON artifacts")
@@ -343,6 +359,26 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lintlab import all_rules, lint_paths
+
+    if args.list_rules:
+        rows = {rule.code: f"{rule.name}: {rule.rationale}"
+                for rule in all_rules()}
+        print(dict_table("registered lint rules", rows))
+        return 0
+    report = lint_paths(args.paths)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text(show_suppressed=args.show_suppressed))
+    if not report.ok:
+        return 1
+    if args.fail_dead_suppressions and report.dead_suppressions:
+        return 1
+    return 0
+
+
 def _ledger_gate_options(args: argparse.Namespace) -> dict:
     options = {"ignore_host": bool(getattr(args, "ignore_host", False))}
     if getattr(args, "noise_band", None) is not None:
@@ -398,7 +434,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         configure_basic_logging()
     commands = {"generate": _cmd_generate, "fuse": _cmd_fuse, "sweep": _cmd_sweep,
                 "figure4": _cmd_figure4, "figure5": _cmd_figure5,
-                "fuzz": _cmd_fuzz, "bench-ledger": _cmd_bench_ledger}
+                "fuzz": _cmd_fuzz, "lint": _cmd_lint,
+                "bench-ledger": _cmd_bench_ledger}
     handler = commands.get(args.command)
     if handler is None:
         parser.error(f"unknown command {args.command!r}")

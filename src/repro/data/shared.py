@@ -45,10 +45,11 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Protocol, Tuple
 
 import numpy as np
 
+from ..forksafe import ForkSafeLock
 from .cube import CubeError, HyperspectralCube
 
 
@@ -80,6 +81,15 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
 # Leak-proof segment registry
 # ---------------------------------------------------------------------------
 
+class _SegmentOwner(Protocol):
+    """What the registry needs from an owning object: a name, a closer."""
+
+    @property
+    def segment_name(self) -> str: ...
+
+    def close(self, *, _force: bool = False) -> None: ...
+
+
 class SegmentRegistry:
     """Process-wide record of every shared-memory segment this process owns.
 
@@ -97,7 +107,7 @@ class SegmentRegistry:
         #: stay reachable so the sweep can still close it).
         self._owners: Dict[str, object] = {}
 
-    def register(self, owner) -> None:
+    def register(self, owner: _SegmentOwner) -> None:
         with self._lock:
             self._owners[owner.segment_name] = owner
 
@@ -123,7 +133,10 @@ class SegmentRegistry:
         for owner in leftovers:
             try:
                 owner.close(_force=True)
-            except Exception:  # pragma: no cover - sweep must never raise
+            # The atexit sweep must never raise: an owner it cannot close
+            # is beyond saving, and failing here would mask the real exit.
+            # repro: allow[RPL005] sweep must never raise
+            except Exception:  # pragma: no cover
                 pass
         return len(leftovers)
 
@@ -267,7 +280,8 @@ class SharedCube(HyperspectralCube):
         self.close()
 
     # -------------------------------------------------------------- pickling
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Callable[[SharedCubeHandle], "SharedCube"],
+                                  Tuple[SharedCubeHandle]]:
         return (SharedCube.attach, (self.handle(),))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -463,7 +477,9 @@ class SharedComposite:
         self.close()
 
     # -------------------------------------------------------------- pickling
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[
+            Callable[[SharedCompositeHandle], "SharedComposite"],
+            Tuple[SharedCompositeHandle]]:
         return (SharedComposite.attach, (self.handle(),))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -484,7 +500,10 @@ class SharedComposite:
 #: until eviction, so the cap bounds that retained memory.
 _ATTACHMENTS: "OrderedDict[str, SharedComposite]" = OrderedDict()
 _ATTACHMENTS_LIMIT = 8
-_attachments_lock = threading.Lock()
+#: Fork-safe (RPL003): a forked pool child gets a released lock and an
+#: empty cache -- entries inherited mid-mutation (or pinned by parent
+#: threads that do not exist in the child) must never be trusted.
+_attachments_lock = ForkSafeLock(on_reset=_ATTACHMENTS.clear)
 
 
 def _attach_output(handle: SharedCompositeHandle) -> SharedComposite:

@@ -1,0 +1,137 @@
+"""``# repro: allow[RPLxxx]`` suppression comments.
+
+A finding is silenced by a directive on the *flagged line* or on a
+comment-only line *immediately above* it (for lines too long to carry a
+trailing comment).  Directives name one or more rule codes::
+
+    deadline = time.time() + 5.0   # repro: allow[RPL004] sim clock only
+    # repro: allow[RPL005] sweep must never raise
+    except Exception:
+        pass
+
+``# repro: ordered`` is the determinism annotation RPL006 asks for --
+sugar for ``allow[RPL006]`` that reads as a statement about the code
+("this iteration order is deterministic because ...") rather than as a
+lint override::
+
+    for key in selected:  # repro: ordered: insertion order, sorted above
+        total += weights[key]
+
+Every directive is accounted for: the runner marks the ones that silenced
+a finding *used* and reports the rest as *dead*, so suppressions whose
+code has been fixed (or whose rule has been retired) can be pruned
+instead of rotting.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .findings import Suppression
+
+#: A directive must open the comment (``allow[CODE]`` / ``allow[CODE,
+#: CODE] why``); mentions of directives mid-comment are documentation.
+_ALLOW_RE = re.compile(r"\A#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+#: The determinism annotation of RPL006, optionally followed by a
+#: ``: reason``; also anchored to the comment start.
+_ORDERED_RE = re.compile(r"\A#\s*repro:\s*ordered\b")
+
+#: The rule the ``ordered`` annotation expands to.
+_ORDERED_CODE = "RPL006"
+
+
+@dataclass
+class SuppressionSheet:
+    """Per-file map of suppression directives and their accounting."""
+
+    path: str
+    #: line number -> codes allowed on that line.
+    _by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: (line, code) -> the directive record (for used/dead accounting).
+    _directives: Dict[Tuple[int, str], Suppression] = field(default_factory=dict)
+    _used: Set[Tuple[int, str]] = field(default_factory=set)
+
+    def covers(self, code: str, line: int) -> bool:
+        """Whether a finding of ``code`` on ``line`` is suppressed.
+
+        Marks the matching directive used.  A directive covers its own
+        line and, when it sits on a comment-only line, the directive also
+        registered itself against the following line (see
+        :func:`scan_suppressions`).
+        """
+        codes = self._by_line.get(line)
+        if codes is None or code not in codes:
+            return False
+        # Mark the *closest* directive carrying this code as used: the
+        # one on the finding's own line wins over one from the line above.
+        for directive_line in (line, line - 1):
+            if (directive_line, code) in self._directives:
+                self._used.add((directive_line, code))
+                return True
+        return True  # pragma: no cover - map and directives stay in sync
+
+    def directive_line(self, code: str, line: int) -> "int | None":
+        """Line of the directive that covers ``code`` at ``line``."""
+        for directive_line in (line, line - 1):
+            if (directive_line, code) in self._directives:
+                return directive_line
+        return None
+
+    def records(self) -> List[Suppression]:
+        """Every directive with its final used/dead state."""
+        out = []
+        for (line, code), record in sorted(self._directives.items()):
+            out.append(Suppression(code=record.code, path=record.path,
+                                   line=record.line, directive=record.directive,
+                                   used=(line, code) in self._used))
+        return out
+
+
+def _directive_codes(comment: str) -> List[Tuple[str, str]]:
+    """Parse one comment into ``(code, directive-text)`` pairs."""
+    found: List[Tuple[str, str]] = []
+    for match in _ALLOW_RE.finditer(comment):
+        for raw in match.group(1).split(","):
+            code = raw.strip().upper()
+            if code:
+                found.append((code, match.group(0)))
+    for match in _ORDERED_RE.finditer(comment):
+        found.append((_ORDERED_CODE, match.group(0)))
+    return found
+
+
+def scan_suppressions(source: str, path: str) -> SuppressionSheet:
+    """Collect every suppression directive in ``source``.
+
+    Comments are found with :mod:`tokenize` (not a regex over lines), so
+    directive-looking text inside string literals is never mistaken for a
+    directive.  A directive on a comment-only line covers the next line;
+    a trailing directive covers its own line.
+    """
+    sheet = SuppressionSheet(path=path)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return sheet  # unparseable files are reported by the runner instead
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        pairs = _directive_codes(token.string)
+        if not pairs:
+            continue
+        line = token.start[0]
+        comment_only = not token.line[:token.start[1]].strip()
+        for code, directive in pairs:
+            sheet._directives[(line, code)] = Suppression(
+                code=code, path=path, line=line, directive=directive)
+            sheet._by_line.setdefault(line, set()).add(code)
+            if comment_only:
+                sheet._by_line.setdefault(line + 1, set()).add(code)
+    return sheet
+
+
+__all__ = ["SuppressionSheet", "scan_suppressions"]

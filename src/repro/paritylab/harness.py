@@ -38,6 +38,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..api.facade import fuse
+from ..api.request import FusionReport
 from ..config import FusionConfig, PartitionConfig, ScreeningConfig
 from ..data.cube import HyperspectralCube
 from ..data.hydice import HydiceConfig, HydiceGenerator
@@ -319,7 +320,7 @@ def _backend_spec(backend: str) -> str:
     return backend
 
 
-def _check_invariants(report, case: ParityCase,
+def _check_invariants(report: FusionReport, case: ParityCase,
                       combo_label: Tuple[str, str]) -> List[ParityViolation]:
     """Metadata invariants every FusionReport must satisfy."""
     engine, backend = combo_label
@@ -351,8 +352,8 @@ def _check_invariants(report, case: ParityCase,
     return violations
 
 
-def _diff_reports(reference, report, case: ParityCase,
-                  combo: ComboSpec) -> List[ParityViolation]:
+def _diff_reports(reference: FusionReport, report: FusionReport,
+                  case: ParityCase, combo: ComboSpec) -> List[ParityViolation]:
     """Diff a combo's report against the sequential reference report."""
     violations: List[ParityViolation] = []
 

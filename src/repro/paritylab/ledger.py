@@ -38,7 +38,7 @@ import subprocess
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 #: Schema tag of every ledger record (bump on layout changes).
 RECORD_SCHEMA = "repro-fusion/bench-record/v1"
@@ -339,8 +339,8 @@ class BenchLedger:
                 status=status))
         return checks
 
-    def check_files(self, paths: Iterable[Path], **gate_options
-                    ) -> List[MetricCheck]:
+    def check_files(self, paths: Iterable[Path],
+                    **gate_options: Any) -> List[MetricCheck]:
         """Gate a batch of bench ``--json`` artifacts; order preserved."""
         checks: List[MetricCheck] = []
         for path in paths:

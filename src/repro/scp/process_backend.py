@@ -99,7 +99,11 @@ def _interpret_program(logical: str, replica: int, physical_id: str, node: str,
     send_seq = incarnation * _INCARNATION_SEQ_STRIDE
 
     def now() -> float:
-        return time.time() - epoch
+        # Monotonic (RPL004): envelope timestamps are run-relative
+        # *elapsed* time shared with the parent's epoch; the wall clock
+        # would skew them under an NTP step mid-run.  CLOCK_MONOTONIC is
+        # system-wide, so parent/child differences stay meaningful.
+        return time.monotonic() - epoch
 
     def absorb(item: Any) -> None:
         if isinstance(item, str) and item == _SHUTDOWN:
@@ -314,7 +318,7 @@ class ProcessBackend(Backend):
         self._app = app
         timeout = timeout if timeout is not None else self.default_timeout
         self._outbox = self._make_outbox()
-        self._epoch = time.time()
+        self._epoch = time.monotonic()  # run-relative timestamps (RPL004)
         self._start_time = time.perf_counter()
 
         try:

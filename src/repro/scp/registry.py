@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..cluster.machine import Cluster
 from ..cluster.presets import shared_memory_smp, sun_ultra_lan, switched_lan
@@ -109,7 +109,7 @@ def register_backend(name: str, *, variants: Optional[Tuple[str, ...]] = (),
     return decorator
 
 
-def backend_names() -> list:
+def backend_names() -> List[str]:
     """Sorted names of every registered backend."""
     return sorted(_BACKENDS)
 

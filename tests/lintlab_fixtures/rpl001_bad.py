@@ -1,0 +1,18 @@
+# virtual-path: src/repro/serving/upload_buffers.py
+"""Planted RPL001 violations: raw segment allocation outside the sanctuary."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def allocate_upload_buffer(nbytes: int):
+    return shared_memory.SharedMemory(create=True, size=nbytes)  # planted
+
+
+def allocate_positional(nbytes: int):
+    return SharedMemory(None, True, nbytes)  # planted
+
+
+def attach_existing(name: str):
+    # Attaching (create absent/False) is not an allocation: never flagged.
+    return shared_memory.SharedMemory(name=name)

@@ -1,0 +1,19 @@
+# virtual-path: src/repro/serving/upload_buffers.py
+"""Clean twin of rpl001_bad: allocations routed through the registry owners."""
+
+from multiprocessing import shared_memory
+
+from repro.data.shared import SharedComposite, SharedCube
+
+
+def allocate_upload_buffer(rows: int, cols: int):
+    # Registry-routed allocation: the atexit sweep can always reclaim it.
+    return SharedComposite.create(rows, cols)
+
+
+def share(cube):
+    return SharedCube.from_cube(cube)
+
+
+def attach_existing(name: str):
+    return shared_memory.SharedMemory(name=name)

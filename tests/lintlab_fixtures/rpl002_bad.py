@@ -1,0 +1,20 @@
+# virtual-path: src/repro/serving/result_transport.py
+"""Planted RPL002 violations: kill-fragile IPC built outside the mailboxes."""
+
+import multiprocessing
+
+
+def build_result_queue():
+    return multiprocessing.Queue()  # planted
+
+
+def build_result_pipe():
+    return multiprocessing.Pipe()  # planted
+
+
+def build_from_context(ctx):
+    return ctx.Queue()  # planted
+
+
+def build_spawn_queue():
+    return multiprocessing.get_context("spawn").SimpleQueue()  # planted

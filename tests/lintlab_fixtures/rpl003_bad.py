@@ -1,0 +1,27 @@
+# virtual-path: src/repro/serving/session_cache.py
+"""Planted RPL003 violations: fork-hostile module-level state."""
+
+import random
+import threading
+
+import numpy as np
+
+_cache_lock = threading.Lock()  # planted
+
+_CONDITION = threading.Condition()  # planted
+
+_rng = np.random.default_rng(0)  # planted
+
+_shuffler = random.Random(42)  # planted
+
+random.seed(1234)  # planted
+
+if True:
+    _nested_lock = threading.RLock()  # planted
+
+
+def per_call_state():
+    # Function-local locks/RNGs are created after any fork: never flagged.
+    lock = threading.Lock()
+    rng = np.random.default_rng(0)
+    return lock, rng

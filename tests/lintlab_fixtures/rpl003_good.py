@@ -1,0 +1,23 @@
+# virtual-path: src/repro/serving/session_cache.py
+"""Clean twin of rpl003_bad: fork-safe lock, instance state, local RNGs."""
+
+import threading
+
+import numpy as np
+
+from repro.forksafe import ForkSafeLock
+
+_CACHE: dict = {}
+#: The sanctioned module-level mutex: released and emptied after fork().
+_cache_lock = ForkSafeLock(on_reset=_CACHE.clear)
+
+
+class SessionCache:
+    def __init__(self, seed: int) -> None:
+        # Instance-level lock/RNG: created per object, after any fork.
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(seed)
+
+    def draw(self) -> float:
+        with self._lock:
+            return float(self._rng.random())

@@ -1,0 +1,23 @@
+# virtual-path: src/repro/serving/admission.py
+"""Planted RPL004 violations: wall-clock deadline/timeout arithmetic."""
+
+import time
+
+
+def wait_for(poll, timeout: float) -> bool:
+    deadline = time.time() + timeout  # planted
+    while not poll():
+        if time.time() > deadline:  # planted
+            return False
+        time.sleep(0.01)
+    return True
+
+
+def remaining_grace(grace_end: float) -> float:
+    return grace_end - time.time()  # planted
+
+
+class Sweeper:
+    def arm(self, timeout: float) -> None:
+        self._expires = time.time()  # planted
+        self._budget = timeout

@@ -1,0 +1,26 @@
+# virtual-path: src/repro/serving/admission.py
+"""Clean twin of rpl004_bad: monotonic deadlines, wall clock for stamps."""
+
+import time
+
+
+def wait_for(poll, timeout: float) -> bool:
+    deadline = time.monotonic() + timeout
+    while not poll():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.01)
+    return True
+
+
+def record_stamp(record: dict) -> dict:
+    # A bare wall-clock *timestamp* (no deadline arithmetic) is exactly
+    # what time.time() is for: never flagged.
+    record["created_unix"] = time.time()
+    return record
+
+
+def measure(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,27 @@
+# virtual-path: src/repro/serving/liveness.py
+"""Planted RPL005 violations: swallowed exceptions in sweep/worker loops."""
+
+
+def liveness_sweep(slots):
+    for slot in slots:
+        try:
+            slot.poll()
+        except Exception:  # planted
+            pass
+
+
+def worker_loop(inbox):
+    while True:
+        try:
+            item = inbox.get()
+        except BaseException:  # planted
+            continue
+        if item is None:
+            return
+
+
+def drain(sock):
+    try:
+        return sock.recv()
+    except:  # planted
+        return None

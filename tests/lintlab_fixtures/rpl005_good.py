@@ -1,0 +1,36 @@
+# virtual-path: src/repro/serving/liveness.py
+"""Clean twin of rpl005_bad: narrow types, real handling, loop-free swallows."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def liveness_sweep(slots):
+    for slot in slots:
+        try:
+            slot.poll()
+        except (OSError, ValueError):
+            # Narrowed to the known "slot already torn down" failures.
+            pass
+
+
+def worker_loop(inbox, crash_records):
+    while True:
+        try:
+            item = inbox.get()
+        except Exception as err:
+            # Broad, but *handled*: the crash surfaces instead of vanishing.
+            crash_records.append(err)
+            raise
+        if item is None:
+            return
+
+
+def best_effort_close(resource):
+    try:
+        resource.close()
+    except Exception:
+        # Outside any loop this is an ordinary best-effort close, not a
+        # sweep that can mask crash records: not flagged.
+        pass

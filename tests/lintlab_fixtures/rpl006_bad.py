@@ -1,0 +1,22 @@
+# virtual-path: src/repro/core/steps/fixture_kernel.py
+"""Planted RPL006 violations: unordered iteration feeding reductions."""
+
+
+def total_weight(weights: dict) -> float:
+    return sum(weights.values())  # planted
+
+
+def accumulate(members) -> float:
+    total = 0.0
+    for member in set(members):  # planted
+        total += member
+    return total
+
+
+def spread(samples: dict) -> float:
+    return max(v * v for v in samples.values())  # planted
+
+
+def count(members) -> int:
+    # len() is order-insensitive: never flagged.
+    return len(set(members))

@@ -1,0 +1,22 @@
+# virtual-path: src/repro/core/steps/fixture_kernel.py
+"""Clean twin of rpl006_bad: sorted operands or annotated determinism."""
+
+
+def total_weight(weights: dict) -> float:
+    # Sorting pins the operand order: bit-identical on every run.
+    return sum(weights[key] for key in sorted(weights))
+
+
+def accumulate(members) -> float:
+    total = 0.0
+    for member in sorted(set(members)):
+        total += member
+    return total
+
+
+def partial_sums(partials: dict) -> float:
+    total = 0.0
+    # repro: ordered: partials is keyed by partition index, inserted 0..N-1
+    for value in partials.values():
+        total += value
+    return total
