@@ -307,6 +307,24 @@ class FusionSession:
             raise ValueError("max_inflight must be >= 1")
         return inflight
 
+    def stage_executor(self) -> Union[PoolStageExecutor, ThreadStageExecutor]:
+        """The session-wide stage executor (pipeline engine only).
+
+        This is the documented chaos/testing hook: the crash-matrix tests
+        and the scenario simulator (:mod:`repro.scenarios`) reach the
+        executor here to ``inject_kill`` SIGKILL storms, submit straggler /
+        memory-pressure tasks onto the shared slots, and read the recovery
+        counters (``retries``, ``kills_delivered``, ``pending_kills``)
+        afterwards.  Created on first use, exactly like the first pipeline
+        run would.
+        """
+        if self.engine != "pipeline":
+            raise ValueError(
+                f"engine {self.engine!r} does not run on a stage executor; "
+                f"chaos injection and stage-level metrics need "
+                f"engine='pipeline'")
+        return self._stage_runtime()
+
     def _stage_runtime(self) -> Union[PoolStageExecutor, ThreadStageExecutor]:
         """The session-wide stage executor (created on first pipeline run)."""
         with self._lock:

@@ -29,12 +29,36 @@ from .analysis.quality import enhancement_report
 from .analysis.report import dict_table
 from .api.engines import engine_names
 from .api.facade import fuse as api_fuse
-from .config import COMPUTE_DTYPES, FusionConfig, PartitionConfig, ResilienceConfig
+from .config import (COMPUTE_DTYPES, FusionConfig, PartitionConfig,
+                     ResilienceConfig, ScreeningConfig)
 from .data.cube import HyperspectralCube
 from .data.hydice import HydiceConfig, HydiceGenerator
 from .logging_utils import configure_basic_logging
 from .resilience.attack import AttackScenario
 from .scp.registry import BackendSpec, backend_names
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for knobs that must be >= 1 (rejects ``--tile-rows 0``
+    at parse time with a usage error instead of a traceback later)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for strictly-positive float knobs (thresholds, scales)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,9 +70,9 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     gen = subparsers.add_parser("generate", help="generate a synthetic HYDICE-like cube")
-    gen.add_argument("--bands", type=int, default=105)
-    gen.add_argument("--rows", type=int, default=128)
-    gen.add_argument("--cols", type=int, default=128)
+    gen.add_argument("--bands", type=_positive_int, default=105)
+    gen.add_argument("--rows", type=_positive_int, default=128)
+    gen.add_argument("--cols", type=_positive_int, default=128)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--vehicles", type=int, default=3)
     gen.add_argument("--camouflaged", type=int, default=1)
@@ -63,18 +87,21 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="backend spec for backend-using engines, e.g. "
                            f"{', '.join(backend_names())}; parameterised forms "
                            "such as 'process:fork' or 'sim:switched' are accepted")
-    fuse.add_argument("--workers", type=int, default=None,
+    fuse.add_argument("--workers", type=_positive_int, default=None,
                       help="worker threads (default 4; a spec hint like "
                            "'process:8' applies when this flag is omitted)")
-    fuse.add_argument("--subcubes", type=int, default=None)
-    fuse.add_argument("--tile-rows", type=int, default=None,
+    fuse.add_argument("--subcubes", type=_positive_int, default=None)
+    fuse.add_argument("--tile-rows", type=_positive_int, default=None,
                       help="rows per streaming tile (pipeline engine only; "
                            "default ~2 tiles per worker)")
+    fuse.add_argument("--angle-threshold", type=_positive_float, default=None,
+                      help="spectral-angle screening threshold in radians "
+                           "(default 0.05; must be in (0, pi/2))")
     fuse.add_argument("--adaptive-tiles", action="store_true",
                       help="size streaming tiles adaptively from measured "
                            "stage throughput (pipeline engine only; "
                            "--tile-rows then sets the initial probe size)")
-    fuse.add_argument("--replication", type=int, default=2)
+    fuse.add_argument("--replication", type=_positive_int, default=2)
     fuse.add_argument("--attack", default=None,
                       help="logical worker to attack mid-run (resilient engine only)")
     fuse.add_argument("--compute-dtype", choices=list(COMPUTE_DTYPES), default=None,
@@ -154,6 +181,43 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rule table and exit")
 
+    simulate = subparsers.add_parser(
+        "simulate", help="replay a named traffic/chaos scenario against an "
+                         "engine x backend pair")
+    simulate.add_argument("scenario", nargs="?", default=None,
+                          help="registered scenario name "
+                               "(--list shows the library)")
+    simulate.add_argument("--list", action="store_true",
+                          help="print the registered scenarios and exit")
+    simulate.add_argument("--engine", default="pipeline",
+                          choices=engine_names(),
+                          help="fusion engine the trace is replayed against "
+                               "(default pipeline; chaos profiles need it)")
+    simulate.add_argument("--backend", default=None, metavar="SPEC",
+                          help="backend spec (default: local threads, or "
+                               "process:2 for kill-storm scenarios); e.g. "
+                               f"{', '.join(backend_names())}")
+    simulate.add_argument("--requests", type=_positive_int, default=None,
+                          help="trace length (default: the scenario's)")
+    simulate.add_argument("--workers", type=_positive_int, default=None)
+    simulate.add_argument("--max-inflight", type=_positive_int, default=None,
+                          help="concurrent in-flight fusions "
+                               "(pipeline engine only)")
+    simulate.add_argument("--seed", type=int, default=0,
+                          help="trace and scene seed (default 0)")
+    simulate.add_argument("--quick", action="store_true",
+                          help="shrink the scenario to CI smoke size")
+    simulate.add_argument("--no-verify", action="store_true",
+                          help="skip the bit-identity check against the "
+                               "sequential reference")
+    simulate.add_argument("--json", default=None, metavar="PATH",
+                          help="write the ledger-compatible record to PATH")
+    simulate.add_argument("--record-trace", default=None, metavar="PATH",
+                          help="save the replayed arrival trace to PATH")
+    simulate.add_argument("--replay-trace", default=None, metavar="PATH",
+                          help="replay a previously saved trace instead of "
+                               "drawing a fresh one")
+
     ledger = subparsers.add_parser(
         "bench-ledger", help="benchmark-trend ledger: record, gate and "
                              "report benchmark JSON artifacts")
@@ -221,6 +285,11 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
     # (the sequential engine rejects an explicit backend).
     backend = args.backend if get_engine(args.engine).uses_backend else None
     options = {}
+    if args.angle_threshold is not None:
+        # ScreeningConfig validates the range (0, pi/2) and raises an
+        # actionable ValueError for anything outside it.
+        options["config"] = FusionConfig(
+            screening=ScreeningConfig(angle_threshold=args.angle_threshold))
     if args.tile_rows is not None:
         options["tile_rows"] = args.tile_rows
     if args.adaptive_tiles:
@@ -379,6 +448,41 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import json
+
+    from .scenarios import Trace, describe_scenarios, run_simulation
+
+    if args.list:
+        print(dict_table("registered scenarios", describe_scenarios()))
+        return 0
+    if args.scenario is None:
+        raise SystemExit("error: a scenario name is required "
+                         "(repro-fusion simulate --list shows the library)")
+
+    trace = Trace.load(args.replay_trace) if args.replay_trace else None
+    result = run_simulation(args.scenario, engine=args.engine,
+                            backend=args.backend, requests=args.requests,
+                            seed=args.seed, quick=args.quick, trace=trace,
+                            verify=not args.no_verify, workers=args.workers,
+                            max_inflight=args.max_inflight)
+    print(result.summary())
+    if args.record_trace:
+        path = result.trace.save(args.record_trace)
+        print(f"recorded arrival trace to {path}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.record(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote simulate record to {args.json}")
+    if not result.parity.get("ok", True):
+        print("PARITY VIOLATION: composites diverged from the sequential "
+              f"reference on request(s) {result.parity['mismatches']}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _ledger_gate_options(args: argparse.Namespace) -> dict:
     options = {"ignore_host": bool(getattr(args, "ignore_host", False))}
     if getattr(args, "noise_band", None) is not None:
@@ -435,6 +539,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands = {"generate": _cmd_generate, "fuse": _cmd_fuse, "sweep": _cmd_sweep,
                 "figure4": _cmd_figure4, "figure5": _cmd_figure5,
                 "fuzz": _cmd_fuzz, "lint": _cmd_lint,
+                "simulate": _cmd_simulate,
                 "bench-ledger": _cmd_bench_ledger}
     handler = commands.get(args.command)
     if handler is None:
@@ -445,6 +550,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         # Registry lookups raise actionable ValueErrors (they list the
         # registered engine/backend names); show them without a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Missing or unreadable cube/trace/artifact paths are user input
+        # errors, not crashes.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

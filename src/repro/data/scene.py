@@ -23,6 +23,19 @@ DEFAULT_MATERIALS: Tuple[str, ...] = (
 )
 
 
+class ScenePlacementError(ValueError):
+    """A requested vehicle target cannot be placed in the scene.
+
+    Raised when every candidate window for a vehicle footprint is already
+    occupied (road, previously placed targets).  Only reachable on very
+    small or very crowded scenes; the caller should either shrink the
+    target count or grow the scene.  Historically the generator silently
+    stamped an *overlapping* placement in this situation, and scenes under
+    ~32px crashed outright in the quadrant-constrained draw -- both fixed
+    by the typed error plus the quadrant fallback in ``_place``.
+    """
+
+
 @dataclass(frozen=True)
 class VehiclePlacement:
     """Location and size (in pixels) of one target vehicle."""
@@ -91,6 +104,20 @@ class SceneLayout:
         total = self.labels.size
         return {name: float(np.count_nonzero(self.labels == i)) / total
                 for i, name in enumerate(self.materials)}
+
+
+def target_capacity(rows: int, cols: int) -> int:
+    """Vehicles a ``rows x cols`` scene reliably hosts (conservative bound).
+
+    Placement draws footprints up to 5x8 with a 1px margin and must avoid
+    the road and other targets, so very small scenes saturate quickly: a
+    16x16 scene fits exactly one target, a 24x24 scene three.  Callers
+    sizing random workloads (the parity fuzzer, the scenario library)
+    should stay within this bound; :func:`generate_scene` itself raises
+    :class:`ScenePlacementError` when a scene genuinely cannot host the
+    targets asked of it.
+    """
+    return max(1, ((rows - 2) * (cols - 2)) // 160)
 
 
 def _smooth_field(rng: np.random.Generator, rows: int, cols: int, scale: int) -> np.ndarray:
@@ -181,24 +208,60 @@ def generate_scene(rows: int = 320, cols: int = 320, *, seed: int = 0,
 
     placements: List[VehiclePlacement] = []
 
+    def _window_free(r: int, c: int, height: int, width: int) -> bool:
+        window = labels[r:r + height, c:c + width]
+        # Avoid stacking vehicles on the road or on each other.
+        if "road" in materials and np.any(window == materials.index("road")):
+            return False
+        return not (np.any(window == materials.index("vehicle"))
+                    or np.any(window == materials.index("camouflage")))
+
     def _place(camouflaged: bool, forced_quadrant: Optional[str] = None) -> None:
         height = int(rng.integers(3, 6))
         width = int(rng.integers(5, 9))
+        # The lower-left quadrant constraint (Figure 3) only holds when the
+        # quadrant can actually contain the footprint; on smaller scenes the
+        # draw falls back to the whole scene.  Scenes >= 32px always satisfy
+        # the constraint, so their RNG consumption is unchanged.
+        quadrant = forced_quadrant
+        if quadrant == "lower_left" and (rows - height - 1 <= rows // 2
+                                         or cols // 2 - width <= 1):
+            quadrant = None
+        found = False
         for _ in range(64):
-            if forced_quadrant == "lower_left":
+            if quadrant == "lower_left":
                 r = int(rng.integers(rows // 2, rows - height - 1))
                 c = int(rng.integers(1, cols // 2 - width))
             else:
                 r = int(rng.integers(1, rows - height - 1))
                 c = int(rng.integers(1, cols - width - 1))
-            window = labels[r:r + height, c:c + width]
-            # Avoid stacking vehicles on the road or on each other.
-            if "road" in materials and np.any(window == materials.index("road")):
-                continue
-            if np.any(window == materials.index("vehicle")) or \
-                    np.any(window == materials.index("camouflage")):
-                continue
-            break
+            if _window_free(r, c, height, width):
+                found = True
+                break
+        if not found:
+            # Random probing exhausted: fall back to a deterministic scan of
+            # the same candidate range (no RNG consumed) so crowded-but-
+            # placeable scenes still place, and genuinely full scenes raise
+            # a typed error instead of silently stamping an overlap.
+            if quadrant == "lower_left":
+                row_range = range(rows // 2, rows - height - 1)
+                col_range = range(1, cols // 2 - width)
+            else:
+                row_range = range(1, rows - height - 1)
+                col_range = range(1, cols - width - 1)
+            for r in row_range:
+                for c in col_range:
+                    if _window_free(r, c, height, width):
+                        found = True
+                        break
+                if found:
+                    break
+            if not found:
+                raise ScenePlacementError(
+                    f"cannot place a {height}x{width} vehicle in the "
+                    f"{rows}x{cols} scene: every candidate window is occupied "
+                    f"by the road or existing targets; use a larger scene or "
+                    f"fewer vehicles")
         label = materials.index("camouflage") if camouflaged else materials.index("vehicle")
         labels[r:r + height, c:c + width] = label
         placements.append(VehiclePlacement(row=r, col=c, height=height, width=width,
@@ -217,4 +280,5 @@ def generate_scene(rows: int = 320, cols: int = 320, *, seed: int = 0,
                        abundance=abundance.astype(np.float32), vehicles=placements)
 
 
-__all__ = ["SceneLayout", "VehiclePlacement", "generate_scene", "DEFAULT_MATERIALS"]
+__all__ = ["SceneLayout", "ScenePlacementError", "VehiclePlacement",
+           "generate_scene", "target_capacity", "DEFAULT_MATERIALS"]

@@ -42,6 +42,7 @@ from ..api.request import FusionReport
 from ..config import FusionConfig, PartitionConfig, ScreeningConfig
 from ..data.cube import HyperspectralCube
 from ..data.hydice import HydiceConfig, HydiceGenerator
+from ..data.scene import target_capacity
 from ..scp.pool import default_start_method
 
 #: Schema tags stamped into every serialised case / repro (bump on layout
@@ -59,10 +60,6 @@ FLOAT32_COMPOSITE_ATOL = 1e-3
 MIN_ROWS = 16
 MIN_COLS = 16
 MIN_BANDS = 8
-
-#: Smallest spatial extent at which the scene generator can still place
-#: vehicle targets (their footprint needs a free half-quadrant).
-MIN_TARGET_EXTENT = 32
 
 #: Engines exercised by every sampled case (the sequential engine is the
 #: reference and always runs).
@@ -252,14 +249,18 @@ def sample_case(rng: random.Random) -> ParityCase:
                                 zero_copy=zero_copy, replication=replication))
     rows = rng.choice([16, 24, 32, 40, 48])
     cols = rng.choice([16, 24, 32, 40, 48])
-    with_targets = min(rows, cols) >= MIN_TARGET_EXTENT
+    # Any sampled size can host targets now -- the scene generator has a
+    # deterministic placement fallback and a published capacity bound.
+    capacity = target_capacity(rows, cols)
+    vehicles = min(int(rng.choice([1, 2])), capacity)
+    camouflaged = min(int(rng.choice([0, 1])), capacity - vehicles)
     return ParityCase(
         bands=rng.choice([8, 12, 16, 24, 32]),
         rows=rows,
         cols=cols,
         scene_seed=rng.randrange(1_000_000),
-        vehicles=rng.choice([1, 2]) if with_targets else 0,
-        camouflaged=rng.choice([0, 1]) if with_targets else 0,
+        vehicles=vehicles,
+        camouflaged=camouflaged,
         angle_threshold=rng.choice([0.02, 0.05, 0.08, 0.12]),
         max_unique=rng.choice([128, 256, 512]),
         workers=workers,
@@ -428,20 +429,23 @@ def run_case(case: ParityCase) -> CaseOutcome:
 # shrinking
 # ---------------------------------------------------------------------------
 
-def _drop_targets_if_tiny(case: ParityCase) -> ParityCase:
-    """Scenes below the target footprint cannot host vehicles."""
-    if min(case.rows, case.cols) >= MIN_TARGET_EXTENT:
+def _fit_targets(case: ParityCase) -> ParityCase:
+    """Refit the target counts to a shrunken scene's placement capacity."""
+    capacity = target_capacity(case.rows, case.cols)
+    vehicles = min(case.vehicles, capacity)
+    camouflaged = min(case.camouflaged, capacity - vehicles)
+    if (vehicles, camouflaged) == (case.vehicles, case.camouflaged):
         return case
-    return replace(case, vehicles=0, camouflaged=0)
+    return replace(case, vehicles=vehicles, camouflaged=camouflaged)
 
 
 def _shrink_candidates(case: ParityCase) -> Iterator[ParityCase]:
     """Strictly-smaller variants of ``case``, most aggressive first."""
     if case.rows > MIN_ROWS:
-        yield _drop_targets_if_tiny(
+        yield _fit_targets(
             replace(case, rows=max(MIN_ROWS, case.rows // 2)))
     if case.cols > MIN_COLS:
-        yield _drop_targets_if_tiny(
+        yield _fit_targets(
             replace(case, cols=max(MIN_COLS, case.cols // 2)))
     if case.bands > MIN_BANDS:
         yield replace(case, bands=max(MIN_BANDS, case.bands // 2))
@@ -457,6 +461,8 @@ def _shrink_candidates(case: ParityCase) -> Iterator[ParityCase]:
                                    min(case.subcubes, new_workers * 2)))
     if case.vehicles > 1 or case.camouflaged > 0:
         yield replace(case, vehicles=1, camouflaged=0)
+    if case.vehicles > 0:
+        yield replace(case, vehicles=0, camouflaged=0)
     # Knob simplification: a repro that fires without the optional knobs is
     # a strictly better repro.
     simplified = tuple(replace(combo, tile_rows=None, adaptive_tiles=False,

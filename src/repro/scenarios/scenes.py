@@ -1,0 +1,116 @@
+"""Scene specifications of the scenario library.
+
+A :class:`SceneSpec` is the declarative half of a scenario's workload: how
+big the cubes are (tiny thumbnails through deep 512-band stacks), how many
+targets the scene carries, and which knobs of the synthetic HYDICE
+generator (noise, spectral variability, sub-pixel mixing) are pushed off
+their defaults to make the scene low-contrast, high-noise or
+camouflage-heavy.  The spec is pure data; :meth:`SceneSpec.build_cubes`
+materialises the deterministic cube cycle a trace replay fuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from ..data.cube import HyperspectralCube
+from ..data.hydice import HydiceConfig, HydiceGenerator
+from ..data.noise import NoiseModel
+from ..data.scene import target_capacity
+
+
+@dataclass(frozen=True)
+class SceneSpec:
+    """Declarative scene shape of one scenario.
+
+    Attributes
+    ----------
+    bands, rows, cols:
+        Cube dimensions; the library spans 8 through 512 bands and
+        16px thumbnails through the paper's full spatial extent.
+    vehicles / camouflaged:
+        Targets embedded per scene.  Validated against
+        :func:`repro.data.scene.target_capacity` so a spec can never ask
+        for a scene the generator would refuse.
+    distinct:
+        Distinct cubes generated (seed offsets) and cycled through the
+        trace; 1 re-fuses one cube (placement-cache friendly), larger
+        values defeat the cache the way fresh traffic would.
+    spectral_variability / mixing_strength:
+        Generator knobs; low variability + strong mixing yields the
+        low-contrast variant where screening resolves few unique spectra.
+    noise_scale:
+        Divides the sensor SNR; > 1 is the high-noise variant.
+    clutter_fraction:
+        Pixel-scale background clutter fraction.
+    """
+
+    bands: int = 32
+    rows: int = 32
+    cols: int = 32
+    vehicles: int = 2
+    camouflaged: int = 1
+    distinct: int = 2
+    spectral_variability: float = 0.12
+    mixing_strength: float = 0.4
+    noise_scale: float = 1.0
+    clutter_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.bands < 3:
+            raise ValueError("scene spec needs at least 3 spectral bands")
+        if self.rows < 16 or self.cols < 16:
+            raise ValueError("scene spec must be at least 16x16 pixels")
+        if self.vehicles < 0 or self.camouflaged < 0:
+            raise ValueError("target counts must be >= 0")
+        if self.distinct < 1:
+            raise ValueError("distinct must be >= 1")
+        if self.noise_scale <= 0:
+            raise ValueError("noise_scale must be positive")
+        capacity = target_capacity(self.rows, self.cols)
+        if self.vehicles + self.camouflaged > capacity:
+            raise ValueError(
+                f"a {self.rows}x{self.cols} scene reliably hosts at most "
+                f"{capacity} vehicle target(s); asked for "
+                f"{self.vehicles + self.camouflaged}")
+
+    # ------------------------------------------------------------ generation
+    def hydice_config(self, seed: int) -> HydiceConfig:
+        """The generator configuration of the ``seed``-th cube."""
+        noise = NoiseModel(base_snr=100.0 / self.noise_scale,
+                           absorption_snr=25.0 / self.noise_scale)
+        return HydiceConfig(bands=self.bands, rows=self.rows, cols=self.cols,
+                            seed=seed, vehicles=self.vehicles,
+                            camouflaged_vehicles=self.camouflaged,
+                            noise=noise,
+                            spectral_variability=self.spectral_variability,
+                            mixing_strength=self.mixing_strength,
+                            clutter_fraction=self.clutter_fraction)
+
+    def build_cubes(self, seed: int, count: int) -> List[HyperspectralCube]:
+        """Materialise the cube cycle: ``min(count, distinct)`` cubes.
+
+        Replays index into the returned list modulo its length, so a
+        trace of N requests over ``distinct`` cubes re-fuses each cube
+        roughly ``N / distinct`` times.
+        """
+        unique = max(1, min(count, self.distinct))
+        return [HydiceGenerator(self.hydice_config(seed + offset)).generate()
+                for offset in range(unique)]
+
+    def quick(self) -> "SceneSpec":
+        """A CI-sized variant: capped bands/extent, targets re-fit."""
+        rows = min(self.rows, 32)
+        cols = min(self.cols, 32)
+        capacity = target_capacity(rows, cols)
+        camouflaged = min(self.camouflaged, capacity)
+        vehicles = min(self.vehicles, capacity - camouflaged)
+        return replace(self, bands=min(self.bands, 64), rows=rows, cols=cols,
+                       vehicles=vehicles, camouflaged=camouflaged)
+
+    def label(self) -> str:
+        return f"{self.bands}x{self.rows}x{self.cols}"
+
+
+__all__ = ["SceneSpec"]

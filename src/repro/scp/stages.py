@@ -275,6 +275,9 @@ class PoolStageExecutor:
         #: O(pixels) pickled arrays to O(1) row-range acknowledgements.
         self.stage_payload_bytes: Dict[str, int] = {}
         self._kill_requests: Dict[str, int] = {}
+        #: Injected kills that actually fired, per stage (chaos observability:
+        #: recovery metrics diff this against ``retries``).
+        self.kills_delivered: Dict[str, int] = {}
         self._router = threading.Thread(target=self._route, daemon=True,
                                         name="stage-router")
         self._router.start()
@@ -323,9 +326,42 @@ class PoolStageExecutor:
         ``stage`` right after dispatch, exactly as a mid-stage OOM kill or
         node loss would.  The crash-matrix tests drive every pipeline stage
         through this and assert the stream still completes bit-identically
-        (retry budget permitting) or fails with a typed error."""
+        (retry budget permitting) or fails with a typed error.
+
+        A request only fires when a task of ``stage`` actually dispatches.
+        On a long-lived session executor an unconsumed request would
+        otherwise leak into the *next* run (an empty stream, a stage name
+        that never dispatches); callers injecting chaos should drain
+        leftovers with :meth:`cancel_kills` at the end of each run --
+        :attr:`pending_kills` makes the leak observable.
+        """
+        if kills < 1:
+            raise ValueError("kills must be >= 1")
         with self._lock:
             self._kill_requests[stage] = self._kill_requests.get(stage, 0) + kills
+
+    @property
+    def pending_kills(self) -> Dict[str, int]:
+        """Outstanding :meth:`inject_kill` requests that have not fired yet."""
+        with self._lock:
+            return {stage: count for stage, count
+                    in self._kill_requests.items() if count > 0}
+
+    def cancel_kills(self, stage: Optional[str] = None) -> Dict[str, int]:
+        """Withdraw outstanding kill requests (all stages, or just ``stage``).
+
+        Returns what was cancelled, so chaos harnesses can both clean up
+        after a run and report how many injected kills never dispatched.
+        """
+        with self._lock:
+            if stage is None:
+                cancelled = {name: count for name, count
+                             in self._kill_requests.items() if count > 0}
+                self._kill_requests.clear()
+            else:
+                count = self._kill_requests.pop(stage, 0)
+                cancelled = {stage: count} if count > 0 else {}
+        return cancelled
 
     # ------------------------------------------------------------- dispatch
     def _dispatch(self, record: _PendingStage, slot) -> None:
@@ -341,7 +377,12 @@ class PoolStageExecutor:
                 record.attempt += 1
             chaos = self._kill_requests.get(record.stage, 0)
             if chaos > 0 and not abandoned:
-                self._kill_requests[record.stage] = chaos - 1
+                if chaos == 1:
+                    # Drop exhausted entries so pending_kills only reports
+                    # requests that can still fire.
+                    del self._kill_requests[record.stage]
+                else:
+                    self._kill_requests[record.stage] = chaos - 1
         if abandoned:
             self._pool.release(slot)
             return
@@ -349,6 +390,9 @@ class PoolStageExecutor:
                         self._spool, record.fn, record.args, record.kwargs))
         if chaos > 0:
             slot.process.kill()
+            with self._lock:
+                self.kills_delivered[record.stage] = (
+                    self.kills_delivered.get(record.stage, 0) + 1)
 
     # --------------------------------------------------------------- router
     def _route(self) -> None:
@@ -550,6 +594,8 @@ class ThreadStageExecutor:
         self.retries = 0  # interface parity; threads do not die under us
         #: Interface parity: thread results never touch a pickle spool.
         self.stage_payload_bytes: Dict[str, int] = {}
+        #: Interface parity: no kill can ever fire on a thread executor.
+        self.kills_delivered: Dict[str, int] = {}
 
     @property
     def closed(self) -> bool:
@@ -566,6 +612,16 @@ class ThreadStageExecutor:
         raise NotImplementedError(
             "thread-backed stage executors cannot lose a worker to SIGKILL; "
             "use a 'process' backend spec to exercise crash recovery")
+
+    @property
+    def pending_kills(self) -> Dict[str, int]:
+        """Interface parity: no kill request can ever be queued here, so a
+        reused thread executor can never leak one into the next run."""
+        return {}
+
+    def cancel_kills(self, stage: Optional[str] = None) -> Dict[str, int]:
+        """Interface parity with :meth:`PoolStageExecutor.cancel_kills`."""
+        return {}
 
     def submit(self, stage: str, fn: Callable, *args, **kwargs) -> Future:
         while not self._slots_free.acquire(timeout=0.1):

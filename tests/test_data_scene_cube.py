@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.cube import CubeError, HyperspectralCube
-from repro.data.scene import generate_scene
+from repro.data.scene import ScenePlacementError, generate_scene, target_capacity
 
 
 class TestSceneGeneration:
@@ -75,6 +75,61 @@ class TestSceneGeneration:
     def test_bad_clutter_fraction_rejected(self):
         with pytest.raises(ValueError):
             generate_scene(64, 64, clutter_fraction=1.0)
+
+
+class TestTinyScenePlacement:
+    """Degenerate-size regression tests: tiny scenes must either place
+    their targets or raise the typed placement error -- never crash in the
+    RNG bounds or silently overlap targets."""
+
+    def test_tiny_scenes_place_targets_at_capacity(self):
+        for rows, cols in [(16, 16), (16, 48), (20, 20), (24, 24), (18, 31)]:
+            capacity = target_capacity(rows, cols)
+            for seed in range(12):
+                scene = generate_scene(rows, cols, seed=seed,
+                                       vehicles=capacity,
+                                       camouflaged_vehicles=0)
+                assert len(scene.vehicles) == capacity
+
+    def test_tiny_scene_hosts_a_camouflaged_target(self):
+        # The old quadrant constraint crashed in the RNG bounds below 32px.
+        for seed in range(12):
+            scene = generate_scene(16, 16, seed=seed, vehicles=0,
+                                   camouflaged_vehicles=1)
+            assert len(scene.vehicles) == 1
+            assert scene.vehicles[0].camouflaged
+
+    def test_placed_targets_never_overlap(self):
+        scene = generate_scene(24, 24, seed=5,
+                               vehicles=target_capacity(24, 24),
+                               camouflaged_vehicles=0)
+        boxes = [(v.row, v.col, v.height, v.width) for v in scene.vehicles]
+        for i, (r1, c1, h1, w1) in enumerate(boxes):
+            for r2, c2, h2, w2 in boxes[i + 1:]:
+                disjoint = (r1 + h1 <= r2 or r2 + h2 <= r1
+                            or c1 + w1 <= c2 or c2 + w2 <= c1)
+                assert disjoint
+
+    def test_impossible_placement_raises_typed_error(self):
+        with pytest.raises(ScenePlacementError,
+                           match="cannot place|candidate window"):
+            generate_scene(16, 16, seed=0, vehicles=12,
+                           camouflaged_vehicles=0)
+
+    def test_large_scene_generation_is_unchanged(self):
+        # The fallback path only engages when random placement fails;
+        # >=32px scenes must consume the RNG exactly as before the fix.
+        a = generate_scene(48, 48, seed=9)
+        b = generate_scene(48, 48, seed=9)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        assert [v.row for v in a.vehicles] == [v.row for v in b.vehicles]
+
+    def test_capacity_is_monotone_and_floored(self):
+        assert target_capacity(16, 16) == 1
+        assert target_capacity(8, 8) >= 1
+        assert (target_capacity(48, 48)
+                >= target_capacity(32, 32)
+                >= target_capacity(16, 16))
 
 
 class TestHyperspectralCube:

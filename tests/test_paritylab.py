@@ -16,6 +16,7 @@ import pytest
 from repro import cli
 from repro.core import streaming
 from repro.paritylab import harness
+from repro.data.scene import target_capacity
 from repro.paritylab.harness import (CASE_SCHEMA, ComboSpec, ParityCase,
                                      fuzz, load_repro, replay_corpus,
                                      run_case, sample_case, save_repro,
@@ -71,11 +72,10 @@ def test_sampled_cases_cover_all_engines_and_stay_placeable():
     for _ in range(50):
         case = sample_case(rng)
         assert tuple(c.engine for c in case.combos) == harness.FUZZ_ENGINES
-        # Scenes too small for the generator's vehicle footprint must not
-        # request vehicles (the PR-6 sampler regression: ValueError deep in
-        # scene placement).
-        if min(case.rows, case.cols) < harness.MIN_TARGET_EXTENT:
-            assert case.vehicles == 0 and case.camouflaged == 0
+        # Every sampled target count must respect the scene generator's
+        # published placement capacity, at any sampled size.
+        assert (case.vehicles + case.camouflaged
+                <= target_capacity(case.rows, case.cols))
         assert case.subcubes >= case.workers
 
 
@@ -152,11 +152,15 @@ def test_shrinker_respects_an_injected_predicate():
     assert len(minimal.combos) == 1
 
 
-def test_shrinker_never_places_vehicles_below_the_target_floor():
-    shrunk = harness._drop_targets_if_tiny(
+def test_shrinker_refits_targets_to_the_placement_capacity():
+    # Halving a 48x48 scene with three targets down to 16x16 must cap the
+    # target count at the smaller scene's capacity, not raise mid-shrink.
+    shrunk = harness._fit_targets(
         ParityCase(bands=8, rows=16, cols=16, scene_seed=1,
                    vehicles=2, camouflaged=1))
-    assert shrunk.vehicles == 0 and shrunk.camouflaged == 0
+    assert (shrunk.vehicles + shrunk.camouflaged
+            <= target_capacity(shrunk.rows, shrunk.cols))
+    assert shrunk.vehicles + shrunk.camouflaged >= 1  # small != target-free
     shrunk.cube()  # must not raise in the scene generator
 
 
