@@ -1,0 +1,220 @@
+"""Per-task dispatch overhead of the worker transports (PR 9).
+
+The transport seam (``repro.scp.transport``) promises that the stage
+executor behaves identically over forked pool slots and the socket node
+agent -- but the substrates pay different dispatch costs: the forked
+transport hands a task frame to a slot over a pipe, while the socket
+transport serialises it through a length-prefixed TCP frame, the node
+agent re-frames it to a worker, and the committed result still travels
+the shared spool.  This benchmark puts a number on that difference so
+the trend ledger can catch regressions in either hop.
+
+Two rounds per transport, both with trivially cheap task bodies so the
+measured time *is* the dispatch plumbing:
+
+* ``dispatch`` -- a burst of tiny integer tasks (``operator.add``);
+  per-task wall time is the round-trip overhead of the substrate.
+* ``payload`` -- the same burst carrying a 256 KiB argument (``len``),
+  isolating the cost of moving task *bytes* through each transport.
+
+The task callables are stdlib functions on purpose: stage functions
+travel to workers pickled *by reference*, and when this file runs as a
+script its module is ``__main__``, which a fresh node-agent interpreter
+cannot import.  ``operator.add`` and ``len`` resolve everywhere.
+
+There is no "socket must be faster" gate -- it never will be on one
+host; the node agent exists as the stepping stone toward multi-host
+specs.  The artifact records both costs and the ratio, and the trend
+ledger gates drift across CI history::
+
+    python benchmarks/bench_transport_overhead.py --quick --json transport_overhead.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import operator
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+from _bench_utils import record_report, write_bench_json
+from repro.experiments.measured import available_cpus
+from repro.scp.pool import ProcessPool
+from repro.scp.stages import PoolStageExecutor, TransportStageExecutor
+from repro.scp.transport import SocketTransport
+
+#: Tiny-task burst size of the full benchmark (CI smoke uses --quick's 100).
+DISPATCH_TASKS = 400
+
+#: Payload-task burst size of the full benchmark.
+PAYLOAD_TASKS = 60
+
+#: Argument size of the payload round.
+PAYLOAD_BYTES = 256 * 1024
+
+#: Worker slots per transport.
+WORKERS = 2
+
+
+def _make_executor(kind: str, workers: int):
+    if kind == "forked":
+        return PoolStageExecutor(ProcessPool(), workers=workers,
+                                 owns_pool=True)
+    if kind == "socket":
+        return TransportStageExecutor(SocketTransport(workers=workers),
+                                      workers=workers)
+    raise ValueError(f"unknown transport kind {kind!r}")
+
+
+def _time_burst(executor, fn, args_for, count: int) -> float:
+    start = time.perf_counter()
+    futures = [executor.submit("screen", fn, *args_for(index))
+               for index in range(count)]
+    results = [future.result(timeout=120) for future in futures]
+    elapsed = time.perf_counter() - start
+    expected = [fn(*args_for(index)) for index in range(count)]
+    if results != expected:
+        raise AssertionError("transport returned wrong results; timing "
+                             "numbers would be meaningless")
+    return elapsed
+
+
+@dataclass
+class TransportOverheadResult:
+    """Measured dispatch costs of both process-backed transports."""
+
+    workers: int
+    dispatch_tasks: int
+    payload_tasks: int
+    payload_bytes: int
+    dispatch_seconds: Dict[str, float]
+    payload_seconds: Dict[str, float]
+    available_cpus: int
+
+    def dispatch_ms(self, kind: str) -> float:
+        return 1000.0 * self.dispatch_seconds[kind] / self.dispatch_tasks
+
+    def payload_ms(self, kind: str) -> float:
+        return 1000.0 * self.payload_seconds[kind] / self.payload_tasks
+
+    @property
+    def socket_over_forked(self) -> float:
+        return self.dispatch_ms("socket") / self.dispatch_ms("forked")
+
+    def report(self) -> str:
+        lines = [
+            f"{self.dispatch_tasks} tiny tasks + {self.payload_tasks} tasks "
+            f"of {self.payload_bytes // 1024} KiB, {self.workers} workers "
+            f"({self.available_cpus} usable CPUs)",
+        ]
+        for kind in ("forked", "socket"):
+            lines.append(
+                f"  {kind:7s}: {self.dispatch_ms(kind):7.3f} ms/task dispatch, "
+                f"{self.payload_ms(kind):7.3f} ms/task with payload")
+        lines.append(f"  socket/forked dispatch ratio: "
+                     f"{self.socket_over_forked:5.2f}x")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "dispatch_tasks": self.dispatch_tasks,
+            "payload_tasks": self.payload_tasks,
+            "payload_bytes": self.payload_bytes,
+            "dispatch_seconds": dict(self.dispatch_seconds),
+            "payload_seconds": dict(self.payload_seconds),
+            "forked_dispatch_ms": self.dispatch_ms("forked"),
+            "socket_dispatch_ms": self.dispatch_ms("socket"),
+            "forked_payload_ms": self.payload_ms("forked"),
+            "socket_payload_ms": self.payload_ms("socket"),
+            "socket_over_forked": self.socket_over_forked,
+            "available_cpus": self.available_cpus,
+        }
+
+
+def measure(*, quick: bool, workers: int = WORKERS) -> TransportOverheadResult:
+    """Run both bursts on both transports and collect per-task costs."""
+    dispatch_tasks = 100 if quick else DISPATCH_TASKS
+    payload_tasks = 20 if quick else PAYLOAD_TASKS
+    payload = b"\xa5" * PAYLOAD_BYTES
+
+    dispatch_seconds: Dict[str, float] = {}
+    payload_seconds: Dict[str, float] = {}
+    for kind in ("forked", "socket"):
+        with _make_executor(kind, workers) as executor:
+            # Warm-up: spawn slots (and the node agent) off the clock.
+            _time_burst(executor, operator.add, lambda i: (i, 1), workers * 2)
+            dispatch_seconds[kind] = _time_burst(
+                executor, operator.add, lambda i: (i, 1), dispatch_tasks)
+            payload_seconds[kind] = _time_burst(
+                executor, len, lambda i: (payload,), payload_tasks)
+
+    return TransportOverheadResult(workers=workers,
+                                   dispatch_tasks=dispatch_tasks,
+                                   payload_tasks=payload_tasks,
+                                   payload_bytes=PAYLOAD_BYTES,
+                                   dispatch_seconds=dispatch_seconds,
+                                   payload_seconds=payload_seconds,
+                                   available_cpus=available_cpus())
+
+
+def check_overhead(result: TransportOverheadResult) -> str:
+    """Informational verdict: the ledger, not a fixed threshold, judges it."""
+    return (f"INFO: socket dispatch costs {result.socket_over_forked:.2f}x "
+            f"the forked pool's ({result.dispatch_ms('socket'):.3f} ms vs "
+            f"{result.dispatch_ms('forked'):.3f} ms per task); drift is "
+            f"gated by the trend ledger, not a fixed bound")
+
+
+# --------------------------------------------------------------------------
+# pytest entry point
+# --------------------------------------------------------------------------
+
+def test_transport_overhead_measures_both_substrates():
+    result = measure(quick=True)
+    record_report("Worker-transport dispatch overhead (forked vs socket)",
+                  f"{result.report()}\n{check_overhead(result)}")
+    assert result.dispatch_seconds["forked"] > 0
+    assert result.dispatch_seconds["socket"] > 0
+
+
+# --------------------------------------------------------------------------
+# standalone entry point (CI smoke job artifact)
+# --------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure per-task dispatch overhead of the forked and "
+                    "socket worker transports")
+    parser.add_argument("--quick", action="store_true",
+                        help="small bursts (CI smoke mode)")
+    parser.add_argument("--workers", type=int, default=WORKERS,
+                        help="worker slots per transport")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the measured results to this JSON file")
+    args = parser.parse_args(argv)
+
+    result = measure(quick=args.quick, workers=args.workers)
+    verdict = check_overhead(result)
+    print(result.report())
+    print(verdict)
+
+    if args.json_path:
+        metrics = [
+            ("forked_dispatch_ms", result.dispatch_ms("forked"),
+             "ms/task", "lower"),
+            ("socket_dispatch_ms", result.dispatch_ms("socket"),
+             "ms/task", "lower"),
+            ("socket_payload_ms", result.payload_ms("socket"),
+             "ms/task", "lower"),
+        ]
+        write_bench_json(args.json_path, "transport_overhead", metrics,
+                         payload=result.as_dict(), verdict=verdict,
+                         quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

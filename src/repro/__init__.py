@@ -58,7 +58,7 @@ from .core import (DistributedPCT, DistributedRunOutcome, FusionResult,
 from .core.profiling import StageTiming
 from .data import HydiceConfig, HydiceGenerator, HyperspectralCube, generate_cube
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     # Unified fusion API

@@ -40,7 +40,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from ..config import FusionConfig
 from ..core.streaming import execute_pipeline_request, validate_pipeline_request
@@ -49,7 +49,9 @@ from ..data.shared import OutputPool, SharedCube
 from ..scp.pool import PooledProcessBackend, ProcessPool
 from ..scp.registry import BackendSpec
 from ..scp.runtime import Backend
-from ..scp.stages import PoolStageExecutor, ThreadStageExecutor
+from ..scp.stages import (PoolStageExecutor, ThreadStageExecutor,
+                          TransportStageExecutor)
+from ..scp.transport import SocketTransport
 from .engines import get_engine
 from .request import FusionReport, FusionRequest
 
@@ -124,6 +126,7 @@ class FusionSession:
         self._spec: Optional[BackendSpec] = (
             BackendSpec.parse(backend) if backend is not None else None)
 
+        self._start_method = start_method
         self._pool: Optional[ProcessPool] = None
         if self._spec is not None and self._spec.name == "process":
             self._pool = ProcessPool(
@@ -143,8 +146,7 @@ class FusionSession:
         # executor shared by every in-flight pipeline run, the driver
         # threads of submit()/fuse_stream(), and the pool of reusable
         # zero-copy output placements.
-        self._stage_executor: Optional[
-            Union[PoolStageExecutor, ThreadStageExecutor]] = None
+        self._stage_executor: Optional[TransportStageExecutor] = None
         self._drivers: Optional[ThreadPoolExecutor] = None
         self._driver_width: Optional[int] = None
         self._output_pool: Optional[OutputPool] = None
@@ -307,7 +309,7 @@ class FusionSession:
             raise ValueError("max_inflight must be >= 1")
         return inflight
 
-    def stage_executor(self) -> Union[PoolStageExecutor, ThreadStageExecutor]:
+    def stage_executor(self) -> TransportStageExecutor:
         """The session-wide stage executor (pipeline engine only).
 
         This is the documented chaos/testing hook: the crash-matrix tests
@@ -325,8 +327,15 @@ class FusionSession:
                 f"engine='pipeline'")
         return self._stage_runtime()
 
-    def _stage_runtime(self) -> Union[PoolStageExecutor, ThreadStageExecutor]:
-        """The session-wide stage executor (created on first pipeline run)."""
+    def _stage_runtime(self) -> TransportStageExecutor:
+        """The session-wide stage executor (created on first pipeline run).
+
+        The backend spec picks the worker transport: ``process`` borrows
+        the session's persistent pool, ``socket`` launches a node agent
+        (its own worker processes, reached over TCP), and the thread specs
+        run on host threads.  Whatever the substrate, the executor object
+        and its chaos/metrics surface are identical.
+        """
         with self._lock:
             self._check_open()
             if self._stage_executor is None:
@@ -334,20 +343,34 @@ class FusionSession:
                 if self._pool is not None:
                     self._stage_executor = PoolStageExecutor(
                         self._pool, workers=workers, owns_pool=False)
+                elif self._spec is not None and self._spec.name == "socket":
+                    self._stage_executor = TransportStageExecutor(
+                        SocketTransport(workers=workers,
+                                        start_method=self._start_method),
+                        workers=workers)
                 else:
                     self._stage_executor = ThreadStageExecutor(workers=workers)
             return self._stage_executor
 
+    @property
+    def _uses_processes(self) -> bool:
+        """Whether this session's runs cross a process boundary (pool or
+        socket node agent) -- the gate on shared-memory cube and output
+        placement, which only pays off when workers are other processes."""
+        return self._pool is not None or (
+            self._spec is not None and self._spec.name == "socket")
+
     def _output_runtime(self) -> Optional[OutputPool]:
         """The session-wide pool of reusable zero-copy output placements.
 
-        Only process-backed pipeline sessions write results through shared
-        memory; thread-backed sessions return ``None`` and the engine's
-        auto mode keeps their results in-process.  Sized to the streaming
-        window: each in-flight run pins one placement, and the pool may
-        transiently exceed its bound only while every segment is pinned.
+        Only process-backed pipeline sessions (pool or socket) write
+        results through shared memory; thread-backed sessions return
+        ``None`` and the engine's auto mode keeps their results
+        in-process.  Sized to the streaming window: each in-flight run
+        pins one placement, and the pool may transiently exceed its bound
+        only while every segment is pinned.
         """
-        if self._pool is None:
+        if not self._uses_processes:
             return None
         with self._lock:
             self._check_open()
@@ -386,7 +409,7 @@ class FusionSession:
         Eviction therefore happens at unpin time, oldest unpinned first; the
         cache may transiently exceed its bound while everything is in use.
         """
-        if self._pool is None or isinstance(cube, SharedCube):
+        if not self._uses_processes or isinstance(cube, SharedCube):
             return cube
         with self._lock:  # concurrent stream drivers share the cache
             entry = self._placements.pop(id(cube), None)

@@ -86,7 +86,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fuse.add_argument("--backend", default="sim", metavar="SPEC",
                       help="backend spec for backend-using engines, e.g. "
                            f"{', '.join(backend_names())}; parameterised forms "
-                           "such as 'process:fork' or 'sim:switched' are accepted")
+                           "such as 'process:fork', 'sim:switched' or "
+                           "'socket:4' (pipeline engine: workers behind a "
+                           "TCP node agent) are accepted")
     fuse.add_argument("--workers", type=_positive_int, default=None,
                       help="worker threads (default 4; a spec hint like "
                            "'process:8' applies when this flag is omitted)")

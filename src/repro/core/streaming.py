@@ -63,7 +63,8 @@ from ..scp.pool import PooledProcessBackend, ProcessPool
 from ..scp.registry import BackendSpec
 from ..scp.runtime import Backend
 from ..scp.stages import (PoolStageExecutor, ThreadStageExecutor,
-                          ThroughputEWMA)
+                          ThroughputEWMA, TransportStageExecutor)
+from ..scp.transport import SocketTransport
 from .partition import (SubcubeSpec, decompose, extract_subcube,
                         reassemble_composite, subcube_pixel_matrix)
 from .pipeline import FusionResult, SpectralScreeningPCT
@@ -74,8 +75,10 @@ from .steps.statistics import (covariance_matrix, covariance_sum, mean_vector,
                                partition_pixel_matrix)
 from .steps.transform import PCTBasis, project, project_cube_block, transformation_matrix
 
-#: Backend spec names executed on pool processes vs host threads.
+#: Backend spec names executed on pool processes, node-agent processes
+#: reached over TCP, and host threads respectively.
 _PROCESS_SPECS = ("process",)
+_SOCKET_SPECS = ("socket",)
 _THREAD_SPECS = ("local", "sim")
 
 
@@ -380,7 +383,7 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
                            else default_tile_rows(cube.rows, workers))
     normalize = config.colormap.normalize_components
     use_zero_copy = (zero_copy if zero_copy is not None
-                     else isinstance(executor, PoolStageExecutor))
+                     else bool(getattr(executor, "uses_processes", False)))
     placement: Optional[SharedComposite] = None
     completed = False
     if use_zero_copy:
@@ -486,20 +489,27 @@ def make_stage_executor(spec: BackendSpec, *, workers: int,
 
     ``process`` specs get a private :class:`~repro.scp.pool.ProcessPool`
     (pre-warmed to ``workers`` slots) wrapped in a
-    :class:`PoolStageExecutor` that owns it; ``local`` and ``sim`` specs
-    run stages on host threads -- the simulated backend has no meaningful
-    virtual clock for a streaming dataflow, so the engine degrades it to
-    measured wall clock on threads, with identical output.
+    :class:`~repro.scp.stages.PoolStageExecutor` that owns it; ``socket``
+    specs get a :class:`~repro.scp.transport.SocketTransport` node agent
+    (worker processes reached over TCP frames, results through the same
+    crash-safe spool commit); ``local`` and ``sim`` specs run stages on
+    host threads -- the simulated backend has no meaningful virtual clock
+    for a streaming dataflow, so the engine degrades it to measured wall
+    clock on threads, with identical output.
     """
     if spec.name in _PROCESS_SPECS:
         pool = ProcessPool(start_method=start_method or spec.variant or None,
                            warm=workers)
         return PoolStageExecutor(pool, workers=workers, owns_pool=True)
+    if spec.name in _SOCKET_SPECS:
+        transport = SocketTransport(workers=workers, start_method=start_method)
+        return TransportStageExecutor(transport, workers=workers)
     if spec.name in _THREAD_SPECS:
         return ThreadStageExecutor(workers=workers)
     raise ValueError(
         f"engine 'pipeline' cannot stream on backend {spec.name!r}; "
-        f"supported backend specs: {', '.join(_PROCESS_SPECS + _THREAD_SPECS)}")
+        f"supported backend specs: "
+        f"{', '.join(_PROCESS_SPECS + _SOCKET_SPECS + _THREAD_SPECS)}")
 
 
 def validate_pipeline_request(request, *, one_shot: bool) -> None:
@@ -595,7 +605,7 @@ class PipelineEngine:
             executor = make_stage_executor(spec, workers=workers)
             owned_executor = executor
             label = str(spec)
-            uses_processes = spec.name in _PROCESS_SPECS
+            uses_processes = bool(getattr(executor, "uses_processes", False))
         try:
             working = request
             if uses_processes and not isinstance(request.cube, SharedCube):

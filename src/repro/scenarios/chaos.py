@@ -24,13 +24,13 @@ from __future__ import annotations
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import List, Tuple, Union
+from typing import List, Tuple
 
 import numpy as np
 
-from ..scp.stages import PoolStageExecutor, ThreadStageExecutor
+from ..scp.stages import TransportStageExecutor
 
-StageExecutor = Union[PoolStageExecutor, ThreadStageExecutor]
+StageExecutor = TransportStageExecutor
 
 #: Pipeline stage names a kill storm targets (see repro.core.streaming).
 PIPELINE_STAGES: Tuple[str, ...] = ("screen", "covariance", "project")
@@ -88,12 +88,16 @@ class KillStorm(ChaosProfile):
         if self.rounds < 1:
             raise ValueError("rounds must be >= 1")
 
-    def _require_killable(self, executor: StageExecutor) -> PoolStageExecutor:
-        if not isinstance(executor, PoolStageExecutor):
+    def _require_killable(self, executor: StageExecutor) -> StageExecutor:
+        # Capability check on the executor's transport, not an isinstance
+        # ladder: any transport whose workers can die to SIGKILL (forked
+        # pool slots, socket node-agent workers, future cluster hosts)
+        # supports the storm.
+        if not getattr(executor, "supports_kill", False):
             raise ValueError(
                 "the 'kill-storm' chaos profile SIGKILLs worker processes, "
                 "which thread-backed executors do not have; run the scenario "
-                "on a process backend (e.g. --backend process:2)")
+                "on a process backend (e.g. --backend process:2 or socket:2)")
         return executor
 
     def start(self, executor: StageExecutor, requests: int) -> None:
@@ -102,9 +106,9 @@ class KillStorm(ChaosProfile):
     def on_request(self, executor: StageExecutor,
                    index: int) -> List["Future[object]"]:
         if index < self.rounds:
-            pool_executor = self._require_killable(executor)
+            killable = self._require_killable(executor)
             for stage in self.stages:
-                pool_executor.inject_kill(stage)
+                killable.inject_kill(stage)
         return []
 
     def describe(self) -> str:

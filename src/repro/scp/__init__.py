@@ -14,6 +14,11 @@ Backends are addressable by name through the registry (:mod:`.registry`,
 spec strings such as ``"process:fork"`` or ``"sim:switched"``), and the
 persistent worker pool (:mod:`.pool`) lets repeated runs reuse live worker
 processes instead of spawning per run.
+
+The streaming pipeline engine executes *stage tasks* rather than SCP
+programs; its worker substrates live behind the transport seam
+(:mod:`.transport` -- in-process threads, forked pool slots, or a socket
+node agent), driven by the unified stage executor (:mod:`.stages`).
 """
 
 from .channel import Mailbox
@@ -31,6 +36,12 @@ from .registry import (SIM_PRESETS, BackendContext, BackendSpec, backend_names,
 from .runtime import (Application, Backend, Context, RunResult, ThreadOutcome,
                       plan_placement)
 from .serialization import ENVELOPE_OVERHEAD_BYTES, Envelope, payload_nbytes
+from .stages import (PoolStageExecutor, StageCrashError, StageError,
+                     ThreadStageExecutor, TransportStageExecutor)
+from .transport import (CommittedResult, ForkedProcessTransport,
+                        InProcessTransport, SocketTransport, TaskFrame,
+                        WorkerTransport, create_transport, describe_transports,
+                        register_transport, transport_names)
 from .sim_backend import (CONTROL_MESSAGE_BYTES, ProtocolConfig, SimBackend,
                           TaskStatus)
 from .thread import ThreadProgram, ThreadSpec, parse_physical, physical_name
@@ -77,6 +88,21 @@ __all__ = [
     "ENVELOPE_OVERHEAD_BYTES",
     "Envelope",
     "payload_nbytes",
+    "PoolStageExecutor",
+    "StageCrashError",
+    "StageError",
+    "ThreadStageExecutor",
+    "TransportStageExecutor",
+    "CommittedResult",
+    "ForkedProcessTransport",
+    "InProcessTransport",
+    "SocketTransport",
+    "TaskFrame",
+    "WorkerTransport",
+    "create_transport",
+    "describe_transports",
+    "register_transport",
+    "transport_names",
     "CONTROL_MESSAGE_BYTES",
     "ProtocolConfig",
     "SimBackend",

@@ -25,6 +25,8 @@ backend    variants                                 meaning
 sim        sun-ultra (default), switched, smp       simulated cluster preset
 local      --                                       host threads (GIL-bound)
 process    spawn (default), fork, forkserver        multiprocessing start method
+socket     --                                       node-agent workers over TCP
+                                                    (pipeline engine only)
 =========  =======================================  =====================
 
 Unknown backend names and variants raise :class:`ValueError` messages that
@@ -243,6 +245,23 @@ def _make_process_backend(spec: BackendSpec, context: BackendContext) -> Process
         raise ValueError(f"start method {method!r} is not available on this platform; "
                          f"available: {', '.join(multiprocessing.get_all_start_methods())}")
     return ProcessBackend(start_method=method)
+
+
+@register_backend("socket", variants=(),
+                  description="localhost node-agent worker processes over TCP "
+                              "(streaming pipeline engine only); the stepping "
+                              "stone toward multi-host cluster specs")
+def _make_socket_backend(spec: BackendSpec, context: BackendContext) -> Backend:
+    # The socket transport provides *stage-task* workers, not an SCP program
+    # runtime: there is no mailbox routing for manager/worker generator
+    # programs behind it.  The pipeline engine resolves "socket:N" itself
+    # (repro.core.streaming.make_stage_executor); a batch engine asking the
+    # registry for it is a configuration error worth a precise message.
+    raise ValueError(
+        "backend 'socket' provides stage-task workers for the streaming "
+        "pipeline engine only and has no SCP program runtime; use "
+        "engine='pipeline' (e.g. backend='socket:4'), or pick 'sim', "
+        "'local' or 'process' for the batch engines")
 
 
 __all__ = [

@@ -1,4 +1,4 @@
-"""Message envelopes and payload size accounting.
+"""Message envelopes, payload size accounting, and spool-file commits.
 
 The cost model of the simulated backend needs to know how many bytes a
 message occupies on the wire.  Rather than actually pickling every payload
@@ -8,10 +8,19 @@ and scalars, falling back to :mod:`pickle` only for unknown object graphs.
 The estimate errs on the side of the dominant contributors -- the sub-cube
 arrays exchanged between manager and workers -- which is what matters for the
 shape of Figures 4 and 5.
+
+This module also owns the *atomic spool commit* -- the one way a result
+ever crosses a process boundary on the crash-safe paths
+(:mod:`repro.scp.transport`): write the payload next to its final name,
+then :func:`os.rename` into place.  A SIGKILL either commits a complete
+file or leaves nothing; readers never observe a torn write.  Every
+transport reuses :func:`commit_spool_file` rather than growing its own
+rename-commit implementation.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import sys
 from dataclasses import dataclass
@@ -22,6 +31,39 @@ import numpy as np
 #: Fixed envelope overhead in bytes: logical addresses, port name, sequence
 #: number, flags.  Matches the order of magnitude of an SCPlib/TCP header.
 ENVELOPE_OVERHEAD_BYTES = 96
+
+#: Spool-file suffixes a finished stage task commits (atomic rename) and
+#: the transports scan for.
+RESULT_SUFFIX = ".result"
+ERROR_SUFFIX = ".error"
+
+
+def spool_root() -> Optional[str]:
+    """RAM-backed directory for result spool files where the OS has one."""
+    return "/dev/shm" if os.path.isdir("/dev/shm") else None
+
+
+def unlink_quietly(path: str) -> None:
+    """Remove ``path`` if it exists; a concurrent unlink is not an error."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def commit_spool_file(spool_dir: str, name: str, payload: bytes) -> None:
+    """Write ``payload`` and atomically rename into place (the commit).
+
+    The partial file lives in the same directory as its final name so the
+    rename never crosses a filesystem boundary (``os.rename`` is only
+    atomic within one).  Used by every worker transport: a process killed
+    mid-write leaves only the ``.tmp``, which scanners ignore.
+    """
+    final = os.path.join(spool_dir, name)
+    partial = final + ".tmp"
+    with open(partial, "wb") as fh:
+        fh.write(payload)
+    os.rename(partial, final)
 
 
 def payload_nbytes(payload: Any) -> int:
@@ -111,4 +153,13 @@ class Envelope:
                 f"bytes={self.nbytes}>")
 
 
-__all__ = ["Envelope", "payload_nbytes", "ENVELOPE_OVERHEAD_BYTES"]
+__all__ = [
+    "ENVELOPE_OVERHEAD_BYTES",
+    "ERROR_SUFFIX",
+    "Envelope",
+    "RESULT_SUFFIX",
+    "commit_spool_file",
+    "payload_nbytes",
+    "spool_root",
+    "unlink_quietly",
+]

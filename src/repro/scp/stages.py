@@ -1,36 +1,40 @@
-"""Stage-task execution on borrowed pool slots: the streaming engine's motor.
+"""Stage-task execution over worker transports: the streaming engine's motor.
 
 The SCP backends run *programs* -- long-lived effectful generators wired
 into a manager/worker application.  The streaming pipeline engine
 (:mod:`repro.core.streaming`) needs something much smaller: fire thousands
 of short, pure *stage tasks* (screen this tile, accumulate this covariance
-partial, colour-map that tile) at a bounded set of worker processes and
-collect their results as futures, with several independent fusions in
-flight at once.
+partial, colour-map that tile) at a bounded set of workers and collect
+their results as futures, with several independent fusions in flight at
+once.
 
-This module provides that layer:
+This module provides that layer on top of the worker-transport seam
+(:mod:`repro.scp.transport`):
 
 * a tiny child-side task protocol (:func:`try_run_stage`) the pool's idle
-  loop understands alongside program assignments, so stage tasks execute on
-  the very same long-lived :class:`~repro.scp.pool.ProcessPool` slots the
-  session backends borrow;
-* :class:`PoolStageExecutor` -- the parent-side dispatcher: it borrows a
-  slot per task, routes the pool's shared outbox back to per-task futures,
-  sweeps for slots that died mid-task (SIGKILL, OOM) and transparently
-  re-dispatches the task on a fresh slot, and enforces *backpressure*: at
-  most ``workers`` tasks are in flight and further ``submit`` calls block,
+  loop and the socket transport's workers both understand, so stage tasks
+  execute on whatever substrate the transport provides;
+* :class:`TransportStageExecutor` -- the parent-side dispatcher: it
+  borrows a worker per task from its transport, routes committed results
+  back to per-task futures, sweeps for workers that died mid-task
+  (SIGKILL, OOM, whole-node loss) and transparently re-dispatches the
+  task on a fresh worker, and enforces *backpressure*: at most
+  ``workers`` tasks are in flight and further ``submit`` calls block,
   which is what bounds the memory of a streaming fusion to O(tiles in
   flight) instead of O(cube);
-* :class:`ThreadStageExecutor` -- the same interface on host threads, used
-  by the ``local`` and ``sim`` backend specs (no pickling, GIL-bound
-  compute but identical results);
+* :class:`PoolStageExecutor` / :class:`ThreadStageExecutor` -- the
+  historical entry points, now thin shims binding the unified executor
+  to the ``forked-process`` and ``inprocess`` transports;
+* :class:`StageAccountingMixin` -- the kill-request bookkeeping and
+  per-stage observability counters every executor shares (one copy,
+  identical semantics on threads and processes);
 * a typed error taxonomy (:class:`StageError`, :class:`StageCrashError`)
   so a stream either completes or fails cleanly -- never hangs.
 
 Determinism note: stage tasks must be *pure* module-level functions of
 their arguments.  That is what makes crash recovery invisible -- a task
-re-run on a fresh slot returns bit-identical results -- and what the crash
-matrix tests assert stage by stage.
+re-run on a fresh worker returns bit-identical results -- and what the
+crash matrix tests assert stage by stage.
 
 Crash-safe result transport
 ---------------------------
@@ -42,54 +46,40 @@ process's feeder forever (both failure modes were observed under the
 crash-matrix tests; the second is why ``concurrent.futures`` declares a
 pool "broken" on any worker death).  Stage results therefore never touch
 a queue at all: the child pickles the result (or the error text) to a
-*spool file* on tmpfs and commits it with an atomic ``os.rename``, and
-the parent's router discovers completions by scanning the spool
-directory.  A kill either commits a complete file or leaves nothing, no
-lock is shared on the result path, and the router can never block -- which
-is what makes the "completes or fails typed, never hangs" contract hold.
+*spool file* on tmpfs and commits it with an atomic ``os.rename``
+(:func:`repro.scp.serialization.commit_spool_file`), and the parent's
+router discovers completions by scanning the spool directory.  A kill
+either commits a complete file or leaves nothing, no lock is shared on
+the result path, and the router can never block -- which is what makes
+the "completes or fails typed, never hangs" contract hold.  This
+invariant now lives in :mod:`repro.scp.transport`, where every transport
+(forked pool slots and socket node agents alike) reuses it.
 """
 
 from __future__ import annotations
 
 import itertools
-import os
 import pickle
-import shutil
-import tempfile
 import threading
 import time
 from concurrent.futures import Future
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..logging_utils import get_logger
 from .errors import SCPError
+from .serialization import (ERROR_SUFFIX as _ERROR_SUFFIX,
+                            RESULT_SUFFIX as _RESULT_SUFFIX,
+                            commit_spool_file as _commit_spool_file)
+from .transport import (STAGE_ASSIGN as _STAGE_ASSIGN, CommittedResult,
+                        ForkedProcessTransport, InProcessTransport, TaskFrame,
+                        WorkerTransport)
 
 _LOG = get_logger("scp.stages")
 
-#: First element of a stage-task tuple deposited on a slot's inbox.
-_STAGE_ASSIGN = "__scp_stage_assign__"
-
-#: Spool-file suffixes a finished task commits (atomic rename) and the
-#: router scans for.
-_RESULT_SUFFIX = ".result"
-_ERROR_SUFFIX = ".error"
-
-#: Seconds a slot process may be observed dead without a committed spool
-#: file before its task is re-dispatched (a result renamed just before
-#: death is picked up by the scan within one poll tick).
+#: Seconds a worker may be observed dead without a committed spool file
+#: before its task is re-dispatched (a result committed just before death
+#: is picked up by the scan within one poll tick).
 _DEATH_CONFIRM_SECONDS = 0.25
-
-
-def _spool_root() -> Optional[str]:
-    """RAM-backed directory for result spool files where the OS has one."""
-    return "/dev/shm" if os.path.isdir("/dev/shm") else None
-
-
-def _unlink_quietly(path: str) -> None:
-    try:
-        os.unlink(path)
-    except OSError:
-        pass
 
 
 class ThroughputEWMA:
@@ -154,28 +144,20 @@ class StageCrashError(StageError):
     """
 
 
-def _commit_spool_file(spool_dir: str, name: str, payload: bytes) -> None:
-    """Write ``payload`` and atomically rename into place (the commit)."""
-    final = os.path.join(spool_dir, name)
-    partial = final + ".tmp"
-    with open(partial, "wb") as fh:
-        fh.write(payload)
-    os.rename(partial, final)
-
-
 def try_run_stage(item: Any, outbox) -> bool:
     """Child-side protocol: execute ``item`` if it is a stage task.
 
-    Called from the pool slot's idle loop for every inbox item.  Returns
-    True when ``item`` was a stage task (handled here, loop continues),
-    False when it is something else (a program assignment, a stale
-    envelope) the caller should interpret itself.  ``outbox`` is unused --
-    results travel through spool files precisely so no queue is shared
-    with processes that may be SIGKILLed (see the module docstring).
+    Called from the worker's idle loop for every inbox item (pool slots
+    and socket-transport workers share this function).  Returns True when
+    ``item`` was a stage task (handled here, loop continues), False when
+    it is something else (a program assignment, a stale envelope) the
+    caller should interpret itself.  ``outbox`` is unused -- results
+    travel through spool files precisely so no queue is shared with
+    processes that may be SIGKILLed (see the module docstring).
 
     The stage function runs under a blanket exception guard: a failing task
-    commits an error file and leaves the slot healthy and reusable, so one
-    poisoned tile cannot take a worker down with it.
+    commits an error file and leaves the worker healthy and reusable, so
+    one poisoned tile cannot take a worker down with it.
     """
     if not (isinstance(item, tuple) and len(item) == 7 and item[0] == _STAGE_ASSIGN):
         return False
@@ -191,7 +173,7 @@ def try_run_stage(item: Any, outbox) -> bool:
         _commit_spool_file(spool_dir, stem + _RESULT_SUFFIX,
                            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:  # spool dir gone: the executor was closed underneath
-        pass           # this task; keep the slot alive regardless
+        pass           # this task; keep the worker alive regardless
     return True
 
 
@@ -199,7 +181,7 @@ class _PendingStage:
     """Parent-side record of one in-flight stage task."""
 
     __slots__ = ("task_id", "stage", "fn", "args", "kwargs", "future",
-                 "slot", "attempt", "first_seen_dead")
+                 "ref", "attempt", "first_seen_dead", "dispatched_at")
 
     def __init__(self, task_id: int, stage: str, fn: Callable,
                  args: Tuple, kwargs: Dict) -> None:
@@ -209,120 +191,64 @@ class _PendingStage:
         self.args = args
         self.kwargs = kwargs
         self.future: Future = Future()
-        self.slot = None
+        self.ref = None
         self.attempt = 0
         self.first_seen_dead: Optional[float] = None
+        self.dispatched_at: float = 0.0
 
 
-class PoolStageExecutor:
-    """Dispatch stage tasks onto :class:`~repro.scp.pool.ProcessPool` slots.
+def _validate_executor_params(workers: int, max_retries: int) -> None:
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
 
-    Parameters
-    ----------
-    pool:
-        The slot pool tasks borrow from.  The executor owns the pool's
-        shared outbox for its lifetime (its router thread drains it), so a
-        pool must not serve a :class:`~repro.scp.pool.PooledProcessBackend`
-        run and a live stage executor at the same time -- the session layer
-        guarantees this by pinning one engine per session.
-    workers:
-        Maximum stage tasks in flight; the bounded stage queue.  A
-        ``submit`` beyond it blocks the caller (backpressure) until a slot
-        frees up.
-    max_retries:
-        How many times a task whose slot *process died* is re-dispatched on
-        a fresh slot before its future fails with :class:`StageCrashError`.
-        Deterministic task errors are never retried.
-    owns_pool:
-        When True the pool is closed together with the executor (the
-        one-shot engine path); sessions keep their pool alive across
-        executors and pass False.
+
+class StageAccountingMixin:
+    """Kill-request accounting and per-stage observability counters.
+
+    ``PoolStageExecutor`` and ``ThreadStageExecutor`` used to carry their
+    own (divergent) copies of this bookkeeping; it now lives in exactly
+    one place so every executor -- whatever its transport -- exposes
+    identical semantics:
+
+    * :meth:`inject_kill` validates its count *first* (``ValueError`` on
+      ``kills < 1`` everywhere), then rejects transports whose workers
+      cannot be SIGKILLed (``NotImplementedError`` on host threads);
+    * :attr:`pending_kills` / :meth:`cancel_kills` report and withdraw
+      requests that have not fired, so a reused session executor can
+      never leak a kill into its next run;
+    * :attr:`retries`, :attr:`kills_delivered`,
+      :attr:`stage_payload_bytes` and :attr:`stage_throughput` are the
+      chaos/performance observables the scenario simulator and the
+      benchmarks read.
+
+    The host class provides ``self._lock`` (a ``threading.Lock``) and a
+    ``supports_kill`` property.
     """
 
-    def __init__(self, pool, *, workers: int = 4, max_retries: int = 2,
-                 owns_pool: bool = False, poll_interval: float = 0.002) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        if max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
-        self._pool = pool
-        self._workers = workers
-        self._max_retries = max_retries
-        self._owns_pool = owns_pool
-        self._poll_interval = poll_interval
-        self._slots_free = threading.BoundedSemaphore(workers)
-        self._pending: Dict[int, _PendingStage] = {}
-        #: Crash-retry tasks waiting for a warm slot (see _flush_deferred).
-        self._deferred: list = []
-        self._lock = threading.Lock()
-        self._ids = itertools.count()
-        self._closed = False
-        self._spool = tempfile.mkdtemp(prefix="scp-stages-", dir=_spool_root())
-        # Pre-spawn the slot budget from the constructing thread: steady-state
-        # dispatches then find idle slots instead of forking from driver or
-        # router threads.  (Forking there is analysed safe for what the child
-        # touches -- its own fresh inbox and the outbox, whose parent-side
-        # thread locks are only ever used by putting processes -- but not
-        # forking at all is cheaper to reason about; only the crash-retry
-        # respawn still forks off-thread.)
-        if not pool.closed:
-            pool.ensure(workers)
-        #: Tasks re-dispatched after their slot died (observable chaos metric).
+    def _init_accounting(self) -> None:
+        #: Tasks re-dispatched after their worker died (chaos metric).
         self.retries = 0
-        #: Result-payload bytes read back through the spool, per stage.  The
-        #: zero-copy benchmark's primary observable: with shared-memory
+        #: Result-payload bytes read back through the spool, per stage.
+        #: The zero-copy benchmark's primary observable: with shared-memory
         #: output placement the ``project`` stage's entry collapses from
         #: O(pixels) pickled arrays to O(1) row-range acknowledgements.
+        #: Stays empty on in-process transports (nothing is serialised).
         self.stage_payload_bytes: Dict[str, int] = {}
-        self._kill_requests: Dict[str, int] = {}
-        #: Injected kills that actually fired, per stage (chaos observability:
-        #: recovery metrics diff this against ``retries``).
+        #: Injected kills that actually fired, per stage (chaos
+        #: observability: recovery metrics diff this against ``retries``).
         self.kills_delivered: Dict[str, int] = {}
-        self._router = threading.Thread(target=self._route, daemon=True,
-                                        name="stage-router")
-        self._router.start()
-
-    # ------------------------------------------------------------------ API
-    @property
-    def closed(self) -> bool:
-        return self._closed
+        #: Smoothed tasks/second per stage (heterogeneous-worker signal).
+        self.stage_throughput: Dict[str, ThroughputEWMA] = {}
+        self._kill_requests: Dict[str, int] = {}
 
     @property
-    def in_flight(self) -> int:
-        with self._lock:
-            return len(self._pending)
-
-    def submit(self, stage: str, fn: Callable, *args, **kwargs) -> Future:
-        """Queue one stage task; returns its future.
-
-        Blocks while ``workers`` tasks are already in flight -- that is the
-        bounded stage queue providing backpressure to the tile producers.
-        """
-        while not self._slots_free.acquire(timeout=0.1):
-            if self._closed:
-                raise StageError(stage, "stage executor is closed")
-        record = _PendingStage(next(self._ids), stage, fn, args, kwargs)
-        with self._lock:
-            # Re-checked under the lock: close() drains _pending under the
-            # same lock after setting _closed, so a racing submit either
-            # lands before the drain (and is failed by it) or sees _closed
-            # here -- a task can never be registered with no router left to
-            # resolve it.
-            if self._closed:
-                self._slots_free.release()
-                raise StageError(stage, "stage executor is closed")
-            self._pending[record.task_id] = record
-        try:
-            self._dispatch(record, self._pool.acquire())
-        except Exception:
-            with self._lock:
-                self._pending.pop(record.task_id, None)
-            self._slots_free.release()
-            raise
-        return record.future
+    def supports_kill(self) -> bool:  # overridden by the host class
+        return False
 
     def inject_kill(self, stage: str, kills: int = 1) -> None:
-        """Chaos hook: SIGKILL the slot of the next ``kills`` tasks of
+        """Chaos hook: SIGKILL the worker of the next ``kills`` tasks of
         ``stage`` right after dispatch, exactly as a mid-stage OOM kill or
         node loss would.  The crash-matrix tests drive every pipeline stage
         through this and assert the stream still completes bit-identically
@@ -337,6 +263,11 @@ class PoolStageExecutor:
         """
         if kills < 1:
             raise ValueError("kills must be >= 1")
+        if not self.supports_kill:
+            raise NotImplementedError(
+                "thread-backed stage executors cannot lose a worker to "
+                "SIGKILL; use a 'process' or 'socket' backend spec to "
+                "exercise crash recovery")
         with self._lock:
             self._kill_requests[stage] = self._kill_requests.get(stage, 0) + kills
 
@@ -363,115 +294,229 @@ class PoolStageExecutor:
                 cancelled = {stage: count} if count > 0 else {}
         return cancelled
 
+    def _take_kill_request_locked(self, stage: str) -> bool:
+        """Consume one kill request for ``stage`` (caller holds the lock)."""
+        count = self._kill_requests.get(stage, 0)
+        if count <= 0:
+            return False
+        if count == 1:
+            # Drop exhausted entries so pending_kills only reports
+            # requests that can still fire.
+            del self._kill_requests[stage]
+        else:
+            self._kill_requests[stage] = count - 1
+        return True
+
+    def _note_payload(self, stage: str, nbytes: int) -> None:
+        with self._lock:
+            self.stage_payload_bytes[stage] = (
+                self.stage_payload_bytes.get(stage, 0) + nbytes)
+
+    def _note_kill_delivered(self, stage: str) -> None:
+        with self._lock:
+            self.kills_delivered[stage] = self.kills_delivered.get(stage, 0) + 1
+
+    def _note_task_done(self, stage: str, dispatched_at: float) -> None:
+        ewma = self.stage_throughput.get(stage)
+        if ewma is None:
+            with self._lock:
+                ewma = self.stage_throughput.setdefault(stage, ThroughputEWMA())
+        ewma.record(1.0, time.monotonic() - dispatched_at)
+
+
+class TransportStageExecutor(StageAccountingMixin):
+    """Dispatch stage tasks onto the workers of a :class:`WorkerTransport`.
+
+    Parameters
+    ----------
+    transport:
+        The worker substrate.  The executor owns it for its lifetime
+        (``close()`` closes it); a transport wrapping a shared resource
+        -- e.g. a session's :class:`~repro.scp.pool.ProcessPool` -- keeps
+        that resource alive through its own ``owns_pool`` flag.
+    workers:
+        Maximum stage tasks in flight; the bounded stage queue.  A
+        ``submit`` beyond it blocks the caller (backpressure) until a
+        worker frees up.
+    max_retries:
+        How many times a task whose *worker died* is re-dispatched on a
+        fresh worker before its future fails with
+        :class:`StageCrashError`.  Deterministic task errors are never
+        retried.
+    """
+
+    def __init__(self, transport: WorkerTransport, *, workers: int = 4,
+                 max_retries: int = 2, poll_interval: float = 0.002) -> None:
+        _validate_executor_params(workers, max_retries)
+        self._transport = transport
+        self._workers = workers
+        self._max_retries = max_retries
+        self._poll_interval = poll_interval
+        self._slots_free = threading.BoundedSemaphore(workers)
+        self._pending: Dict[int, _PendingStage] = {}
+        #: Crash-retry tasks waiting for a warm worker (see _flush_deferred).
+        self._deferred: List[_PendingStage] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+        self._closed = False
+        self._init_accounting()
+        # Pre-provision the worker budget from the constructing thread:
+        # steady-state dispatches then find idle workers instead of
+        # spawning from driver or router threads (forking there can race
+        # other threads' queue feeders; only the crash-retry respawn
+        # still grows the substrate off-thread, as a last resort).
+        try:
+            transport.start(workers)
+        except Exception:
+            transport.close()
+            raise
+        self._router = threading.Thread(target=self._route, daemon=True,
+                                        name="stage-router")
+        self._router.start()
+
+    # ------------------------------------------------------------------ API
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def transport(self) -> WorkerTransport:
+        """The worker transport this executor dispatches through."""
+        return self._transport
+
+    @property
+    def supports_kill(self) -> bool:
+        """Whether :meth:`inject_kill` can SIGKILL a real worker."""
+        return self._transport.supports_kill
+
+    @property
+    def uses_processes(self) -> bool:
+        """Whether results cross a process boundary (zero-copy payoff)."""
+        return self._transport.uses_processes
+
+    def submit(self, stage: str, fn: Callable, *args, **kwargs) -> Future:
+        """Queue one stage task; returns its future.
+
+        Blocks while ``workers`` tasks are already in flight -- that is the
+        bounded stage queue providing backpressure to the tile producers.
+        """
+        while not self._slots_free.acquire(timeout=0.1):
+            if self._closed:
+                raise StageError(stage, "stage executor is closed")
+        record = _PendingStage(next(self._ids), stage, fn, args, kwargs)
+        with self._lock:
+            # Re-checked under the lock: close() drains _pending under the
+            # same lock after setting _closed, so a racing submit either
+            # lands before the drain (and is failed by it) or sees _closed
+            # here -- a task can never be registered with no router left to
+            # resolve it.
+            if self._closed:
+                self._slots_free.release()
+                raise StageError(stage, "stage executor is closed")
+            self._pending[record.task_id] = record
+        try:
+            ref = self._transport.acquire()
+            if ref is None:
+                raise StageError(stage, "no worker available to dispatch")
+            self._dispatch(record, ref)
+        except Exception:
+            with self._lock:
+                self._pending.pop(record.task_id, None)
+            self._slots_free.release()
+            raise
+        return record.future
+
     # ------------------------------------------------------------- dispatch
-    def _dispatch(self, record: _PendingStage, slot) -> None:
+    def _dispatch(self, record: _PendingStage, ref) -> None:
         with self._lock:
             if self._pending.get(record.task_id) is not record:
                 # close() failed this task between registration and dispatch;
-                # hand the unused slot straight back.
+                # hand the unused worker straight back.
                 abandoned = True
+                chaos = False
             else:
                 abandoned = False
-                record.slot = slot
+                record.ref = ref
                 record.first_seen_dead = None
                 record.attempt += 1
-            chaos = self._kill_requests.get(record.stage, 0)
-            if chaos > 0 and not abandoned:
-                if chaos == 1:
-                    # Drop exhausted entries so pending_kills only reports
-                    # requests that can still fire.
-                    del self._kill_requests[record.stage]
-                else:
-                    self._kill_requests[record.stage] = chaos - 1
+                record.dispatched_at = time.monotonic()
+                chaos = self._take_kill_request_locked(record.stage)
         if abandoned:
-            self._pool.release(slot)
+            self._transport.release(ref)
             return
-        slot.inbox.put((_STAGE_ASSIGN, record.task_id, record.attempt,
-                        self._spool, record.fn, record.args, record.kwargs))
-        if chaos > 0:
-            slot.process.kill()
-            with self._lock:
-                self.kills_delivered[record.stage] = (
-                    self.kills_delivered.get(record.stage, 0) + 1)
+        self._transport.send(ref, TaskFrame(
+            task_id=record.task_id, attempt=record.attempt, stage=record.stage,
+            fn=record.fn, args=record.args, kwargs=record.kwargs))
+        if chaos:
+            self._transport.kill(ref)
+            self._note_kill_delivered(record.stage)
 
     # --------------------------------------------------------------- router
     def _route(self) -> None:
-        """Scan the spool for committed results; sweep for dead slots.
+        """Collect committed results; sweep for dead workers.
 
-        Pure directory polling: the router shares no lock and reads no
-        queue that a SIGKILLed worker could corrupt, so it can never block
-        (the property the crash matrix leans on).
+        The router reads no queue that a SIGKILLed worker could corrupt --
+        commits arrive through the transport's crash-safe path (spool scan
+        or in-memory hand-off), so it can never block (the property the
+        crash matrix leans on).
         """
         while not self._closed:
-            if self._scan_spool():
-                self._flush_deferred()  # the resolves just freed slots
+            resolved = 0
+            for committed in self._transport.poll_committed():
+                if self._resolve(committed):
+                    resolved += 1
+            if resolved:
+                self._flush_deferred()  # the resolves just freed workers
             self._sweep()
             # Tight polling only while work is in flight; an idle session's
             # router must not spin the CPU.
-            time.sleep(self._poll_interval if self._pending else 0.05)
+            self._transport.wait(self._poll_interval if self._pending else 0.05)
 
-    def _scan_spool(self) -> int:
-        """Resolve every committed spool file; returns how many."""
-        try:
-            names = os.listdir(self._spool)
-        except OSError:  # spool removed by close()
-            return 0
-        resolved = 0
-        for name in names:
-            if name.endswith(_RESULT_SUFFIX):
-                error = False
-            elif name.endswith(_ERROR_SUFFIX):
-                error = True
-            else:
-                continue  # an in-progress .tmp
-            stem = name.rsplit(".", 1)[0]
-            try:
-                task_id, attempt = (int(part) for part in stem.split("-"))
-            except ValueError:  # pragma: no cover - foreign file in the spool
-                continue
-            self._resolve(task_id, attempt, os.path.join(self._spool, name),
-                          error=error)
-            resolved += 1
-        return resolved
-
-    def _resolve(self, task_id: int, attempt: int, path: str, *,
-                 error: bool) -> None:
+    def _resolve(self, committed: CommittedResult) -> bool:
         with self._lock:
-            record = self._pending.get(task_id)
-            if record is None or attempt != record.attempt:
-                # A stale file from an attempt whose slot was discarded
+            record = self._pending.get(committed.task_id)
+            if record is None or committed.attempt != record.attempt:
+                # A stale commit from an attempt whose worker was discarded
                 # (e.g. killed right after committing, then retried): the
-                # retry's file is the one that counts.
-                _unlink_quietly(path)
-                return
-            del self._pending[task_id]
-        self._pool.release(record.slot)
+                # retry's commit is the one that counts.  The transport
+                # already consumed the stale file.
+                return False
+            del self._pending[committed.task_id]
+        if record.ref is not None:
+            self._transport.release(record.ref)
         self._slots_free.release()
-        try:
-            with open(path, "rb") as fh:
-                payload = fh.read()
-            with self._lock:
-                self.stage_payload_bytes[record.stage] = (
-                    self.stage_payload_bytes.get(record.stage, 0) + len(payload))
-            if error:
-                record.future.set_exception(StageError(
-                    record.stage, payload.decode("utf-8", "replace")))
-            else:
-                record.future.set_result(pickle.loads(payload))
-        except Exception as err:  # the rename committed, so this is abnormal
+        if committed.payload_nbytes:
+            self._note_payload(record.stage, committed.payload_nbytes)
+        self._note_task_done(record.stage, record.dispatched_at)
+        if committed.crash:  # the commit happened, so this is abnormal
             record.future.set_exception(StageCrashError(
-                record.stage, f"could not read spooled result: {err!r}"))
-        finally:
-            _unlink_quietly(path)
+                record.stage, str(committed.value)))
+        elif committed.error:
+            value = committed.value
+            if isinstance(value, StageError):
+                record.future.set_exception(value)
+            elif isinstance(value, BaseException):
+                error = StageError(record.stage, repr(value))
+                error.__cause__ = value
+                record.future.set_exception(error)
+            else:
+                record.future.set_exception(StageError(record.stage, str(value)))
+        else:
+            record.future.set_result(committed.value)
+        return True
 
     def _sweep(self) -> None:
-        """Detect slots that died mid-task; retry or fail their tasks."""
+        """Detect workers that died mid-task; retry or fail their tasks."""
         now = time.monotonic()
         confirmed = []
         with self._lock:
             for record in self._pending.values():
-                slot = record.slot
-                if slot is None or slot.process.exitcode is None:
+                if record.ref is None or self._transport.probe(record.ref):
                     record.first_seen_dead = None
                     continue
                 if record.first_seen_dead is None:
@@ -479,14 +524,14 @@ class PoolStageExecutor:
                 elif now - record.first_seen_dead >= _DEATH_CONFIRM_SECONDS:
                     confirmed.append(record)
         for record in confirmed:
-            self._pool.discard(record.slot)
+            self._transport.discard(record.ref)
             if record.attempt <= self._max_retries:
                 self.retries += 1
-                _LOG.warning("stage %r task %d lost its slot (attempt %d); "
+                _LOG.warning("stage %r task %d lost its worker (attempt %d); "
                              "re-dispatching", record.stage, record.task_id,
                              record.attempt)
                 with self._lock:
-                    record.slot = None
+                    record.ref = None
                     record.first_seen_dead = None
                     self._deferred.append(record)
             else:
@@ -497,14 +542,15 @@ class PoolStageExecutor:
         self._flush_deferred()
 
     def _flush_deferred(self) -> None:
-        """Re-dispatch crash-retry tasks onto warm slots as they free up.
+        """Re-dispatch crash-retry tasks onto warm workers as they free up.
 
-        Run on the router thread, which must not *fork* new slot processes
-        while driver threads are mid-put on other queues (a forked child can
-        inherit feeder state that loses its first assignment -- observed as
-        a wedged retry slot).  Retries therefore wait for an existing idle
-        slot; only when every slot is gone (total loss) does the pool grow
-        from here as a last resort.
+        Run on the router thread, which must not *spawn* new worker
+        processes while driver threads are mid-put on other queues (a
+        forked child can inherit feeder state that loses its first
+        assignment -- observed as a wedged retry slot).  Retries therefore
+        wait for an existing idle worker; only when every worker is gone
+        (total loss -- a dead pool, or a SIGKILLed node agent) does the
+        substrate grow or restart from here as a last resort.
         """
         while True:
             with self._lock:
@@ -512,10 +558,10 @@ class PoolStageExecutor:
                     return
                 record = self._deferred[0]
             try:
-                slot = self._pool.acquire(allow_spawn=False)
-                if slot is None and self._pool.size == 0:
-                    slot = self._pool.acquire()
-            except Exception as err:  # pool closed underneath the retry
+                ref = self._transport.acquire(spawn=False)
+                if ref is None and self._transport.alive_workers() == 0:
+                    ref = self._transport.acquire()
+            except Exception as err:  # transport closed underneath the retry
                 with self._lock:
                     if self._deferred and self._deferred[0] is record:
                         self._deferred.pop(0)
@@ -523,12 +569,12 @@ class PoolStageExecutor:
                     record.stage,
                     f"could not re-dispatch after slot death: {err!r}"))
                 continue
-            if slot is None:
-                return  # all slots busy; a resolve will free one, next tick
+            if ref is None:
+                return  # all workers busy; a resolve will free one, next tick
             with self._lock:
                 if self._deferred and self._deferred[0] is record:
                     self._deferred.pop(0)
-            self._dispatch(record, slot)
+            self._dispatch(record, ref)
 
     def _fail(self, record: _PendingStage, error: StageError) -> None:
         with self._lock:
@@ -539,149 +585,93 @@ class PoolStageExecutor:
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
-        """Stop routing, fail pending tasks, discard their slots (idempotent).
+        """Stop routing, settle pending tasks, close the transport
+        (idempotent).
 
-        An abandoned stream may leave tasks mid-execution; their slots are
-        discarded rather than released (a recycled slot must be genuinely
-        idle) and their futures fail with a typed error, so nothing blocks
-        interpreter shutdown on a queue feeder thread.
+        Killable transports (processes): an abandoned stream may leave
+        tasks mid-execution; their workers are discarded rather than
+        released (a recycled worker must be genuinely idle) and their
+        futures fail with a typed error, so nothing blocks interpreter
+        shutdown on a queue feeder thread.
+
+        Drain-on-close transports (host threads): running tasks cannot be
+        abandoned, so the transport is closed first -- which waits for
+        them -- and their already-committed results resolve normally.
         """
         if self._closed:
             return
         self._closed = True
         self._router.join(timeout=2.0)
+        if getattr(self._transport, "drain_on_close", False):
+            self._transport.close()  # waits for running thread tasks
+            for committed in self._transport.poll_committed():
+                self._resolve(committed)
         with self._lock:
             pending = list(self._pending.values())
             self._pending.clear()
             self._deferred.clear()
         for record in pending:
-            if record.slot is not None:
-                self._pool.discard(record.slot)
+            if record.ref is not None:
+                self._transport.discard(record.ref)
             if not record.future.done():
                 record.future.set_exception(
                     StageError(record.stage, "stage executor closed with the "
                                              "task still in flight"))
-        if self._owns_pool:
-            self._pool.close()
-        shutil.rmtree(self._spool, ignore_errors=True)
+        self._transport.close()
 
-    def __enter__(self) -> "PoolStageExecutor":
+    def __enter__(self) -> "TransportStageExecutor":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
-class ThreadStageExecutor:
+class PoolStageExecutor(TransportStageExecutor):
+    """Stage tasks on :class:`~repro.scp.pool.ProcessPool` slots.
+
+    The historical entry point for the ``process:N`` path, now a thin
+    binding of :class:`TransportStageExecutor` to a
+    :class:`~repro.scp.transport.ForkedProcessTransport`.
+
+    Parameters
+    ----------
+    pool:
+        The slot pool tasks borrow from.  The executor owns the pool's
+        spool transport for its lifetime; a pool must not serve a
+        :class:`~repro.scp.pool.PooledProcessBackend` run and a live
+        stage executor at the same time -- the session layer guarantees
+        this by pinning one engine per session.
+    owns_pool:
+        When True the pool is closed together with the executor (the
+        one-shot engine path); sessions keep their pool alive across
+        executors and pass False.
+    """
+
+    def __init__(self, pool, *, workers: int = 4, max_retries: int = 2,
+                 owns_pool: bool = False, poll_interval: float = 0.002) -> None:
+        _validate_executor_params(workers, max_retries)
+        super().__init__(ForkedProcessTransport(pool, owns_pool=owns_pool),
+                         workers=workers, max_retries=max_retries,
+                         poll_interval=poll_interval)
+
+
+class ThreadStageExecutor(TransportStageExecutor):
     """The stage-executor interface on host threads.
 
     Used by the ``local`` and ``sim`` backend specs: no processes, no
     pickling, genuine overlap only where numpy releases the GIL -- but the
     exact same futures-and-backpressure contract, and bit-identical results
-    (stage tasks are pure functions).
+    (stage tasks are pure functions).  Now a thin binding of
+    :class:`TransportStageExecutor` to an
+    :class:`~repro.scp.transport.InProcessTransport`.
     """
 
     def __init__(self, *, workers: int = 4) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        from concurrent.futures import ThreadPoolExecutor
-        self._executor = ThreadPoolExecutor(max_workers=workers,
-                                            thread_name_prefix="stage")
-        self._slots_free = threading.BoundedSemaphore(workers)
-        self._closed = False
-        self._in_flight = 0
-        self._count_lock = threading.Lock()
-        self.retries = 0  # interface parity; threads do not die under us
-        #: Interface parity: thread results never touch a pickle spool.
-        self.stage_payload_bytes: Dict[str, int] = {}
-        #: Interface parity: no kill can ever fire on a thread executor.
-        self.kills_delivered: Dict[str, int] = {}
-
-    @property
-    def closed(self) -> bool:
-        return self._closed
-
-    @property
-    def in_flight(self) -> int:
-        with self._count_lock:
-            return self._in_flight
-
-    def inject_kill(self, stage: str, kills: int = 1) -> None:
-        """Interface parity with :class:`PoolStageExecutor`, but host threads
-        cannot be SIGKILLed; crash-matrix scenarios need a process backend."""
-        raise NotImplementedError(
-            "thread-backed stage executors cannot lose a worker to SIGKILL; "
-            "use a 'process' backend spec to exercise crash recovery")
-
-    @property
-    def pending_kills(self) -> Dict[str, int]:
-        """Interface parity: no kill request can ever be queued here, so a
-        reused thread executor can never leak one into the next run."""
-        return {}
-
-    def cancel_kills(self, stage: Optional[str] = None) -> Dict[str, int]:
-        """Interface parity with :meth:`PoolStageExecutor.cancel_kills`."""
-        return {}
-
-    def submit(self, stage: str, fn: Callable, *args, **kwargs) -> Future:
-        while not self._slots_free.acquire(timeout=0.1):
-            if self._closed:
-                raise StageError(stage, "stage executor is closed")
-        if self._closed:
-            self._slots_free.release()
-            raise StageError(stage, "stage executor is closed")
-
-        def run():
-            try:
-                return fn(*args, **kwargs)
-            except StageError:
-                raise
-            except Exception as err:
-                raise StageError(stage, repr(err)) from err
-
-        # Relay through an outer future so a task cancelled by close()
-        # surfaces as the module's typed StageError, exactly as on the
-        # process-backed executor, instead of a raw CancelledError.
-        outer: Future = Future()
-        with self._count_lock:
-            self._in_flight += 1
-        try:
-            inner = self._executor.submit(run)
-        except RuntimeError as err:  # close() won the race to shutdown
-            with self._count_lock:
-                self._in_flight -= 1
-            self._slots_free.release()
-            raise StageError(stage, "stage executor is closed") from err
-
-        def relay(finished: Future) -> None:
-            with self._count_lock:
-                self._in_flight -= 1
-            self._slots_free.release()
-            if finished.cancelled():
-                outer.set_exception(StageError(
-                    stage, "stage executor closed with the task still in flight"))
-                return
-            error = finished.exception()
-            if error is not None:
-                outer.set_exception(error)
-            else:
-                outer.set_result(finished.result())
-
-        inner.add_done_callback(relay)
-        return outer
-
-    def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        self._executor.shutdown(wait=True, cancel_futures=True)
-
-    def __enter__(self) -> "ThreadStageExecutor":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        _validate_executor_params(workers, 0)
+        super().__init__(InProcessTransport(workers=workers), workers=workers,
+                         max_retries=0)
 
 
-__all__ = ["PoolStageExecutor", "ThreadStageExecutor", "ThroughputEWMA",
-           "StageError", "StageCrashError", "try_run_stage"]
+__all__ = ["PoolStageExecutor", "StageAccountingMixin", "StageCrashError",
+           "StageError", "ThreadStageExecutor", "ThroughputEWMA",
+           "TransportStageExecutor", "try_run_stage"]

@@ -1,0 +1,977 @@
+"""Worker transports: the one seam between stage executors and workers.
+
+Before this module existed, worker plumbing lived in three divergent
+copies: :class:`~repro.scp.pool.ProcessPool`'s mp-queue slot mailboxes,
+the spool-file commit/sweep machinery inside ``PoolStageExecutor``
+(duplicated almost wholesale in ``ThreadStageExecutor``), and the
+process backend's private child-main.  Every new execution substrate --
+the ROADMAP's ``cluster:host1,host2`` item most of all -- would have
+meant a fourth copy.
+
+A :class:`WorkerTransport` is the narrow contract the unified stage
+executor (:class:`~repro.scp.stages.TransportStageExecutor`) drives
+instead:
+
+* ``start`` -- pre-provision the worker budget (spawn or attach);
+* ``acquire``/``send`` -- borrow a worker and hand it one task frame;
+* ``poll_committed`` -- collect results that were durably *committed*
+  (an atomic spool rename, or an in-memory hand-off for host threads);
+* ``probe``/``kill`` -- liveness checks and the chaos hard-kill hook;
+* ``release``/``discard``/``close`` -- recycle, condemn, drain.
+
+Three transports ship here, registered in a registry that mirrors the
+engine/backend/rule/scenario ones:
+
+``inprocess``
+    Host threads inside the session process; no pickling, results
+    hand over through an in-memory queue.  Backs the ``local`` and
+    ``sim`` specs.
+``forked-process``
+    Long-lived :class:`~repro.scp.pool.ProcessPool` slots; task frames
+    travel over each slot's private mp-queue inbox, results come back
+    through spool files.  Backs ``process:N``.
+``socket``
+    A localhost *node agent* -- a separate ``python -m
+    repro.scp.transport`` process -- reached over length-prefixed
+    pickled frames on a TCP connection.  The agent owns N worker
+    processes; the parent never shares a queue with anything it might
+    SIGKILL, and results still travel through the very same spool
+    commit as the forked transport.  Backs ``socket:N`` and is the
+    stepping stone to multi-host ``cluster:`` specs: pointing the frame
+    stream at a remote agent is a configuration change, not a rewrite.
+
+Crash-safety invariants (kept here, in one place lintlab can see):
+
+* results *never* travel over a queue or socket shared with a killable
+  worker -- workers commit pickled results to tmpfs spool files with an
+  atomic rename (:func:`repro.scp.serialization.commit_spool_file`) and
+  parents discover completions by directory scan;
+* multiprocessing queues appear only between a parent and workers it
+  alone manages, and a condemned worker's queue is released with
+  ``cancel_join_thread`` so a feeder thread can never wedge shutdown;
+* every deadline in this module is ``time.monotonic`` arithmetic.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import select
+import shutil
+import socket as socket_module
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..logging_utils import get_logger
+from .errors import RuntimeStateError
+from .pool import ProcessPool, default_start_method
+from .serialization import (ERROR_SUFFIX, RESULT_SUFFIX, spool_root,
+                            unlink_quietly)
+
+_LOG = get_logger("scp.transport")
+
+#: First element of a stage-task tuple deposited on a worker's inbox.
+#: (Re-exported by :mod:`repro.scp.stages` for the child-side protocol.)
+STAGE_ASSIGN = "__scp_stage_assign__"
+
+#: Sentinel asking a socket-transport worker to exit its idle loop.
+_WORKER_EXIT = "__scp_worker_exit__"
+
+#: Seconds the parent waits for a freshly launched node agent to call back.
+_AGENT_CONNECT_TIMEOUT = 15.0
+
+
+@dataclass(frozen=True)
+class TaskFrame:
+    """One stage task as handed to a transport: id, attempt, payload."""
+
+    task_id: int
+    attempt: int
+    stage: str
+    fn: Callable
+    args: Tuple
+    kwargs: Dict
+
+
+@dataclass
+class CommittedResult:
+    """A durably committed task outcome collected by ``poll_committed``.
+
+    ``error`` marks a deterministic task failure (``value`` is the error
+    text, or the exception object itself on the in-process transport);
+    ``crash`` marks a committed payload that could not be read back --
+    abnormal, surfaced as :class:`~repro.scp.stages.StageCrashError`.
+    ``payload_nbytes`` is 0 when no serialisation happened (host
+    threads), so thread-backed executors keep empty payload accounting.
+    """
+
+    task_id: int
+    attempt: int
+    value: Any = None
+    error: bool = False
+    crash: bool = False
+    payload_nbytes: int = 0
+
+
+def collect_spool(spool_dir: str) -> List[CommittedResult]:
+    """Consume every committed spool file in ``spool_dir``.
+
+    The shared read half of the spool protocol: both process transports
+    commit results as ``{task_id}-{attempt}.result`` / ``.error`` files
+    (atomic rename; see :mod:`repro.scp.serialization`) and this scan
+    picks them up.  In-progress ``.tmp`` files and foreign names are
+    ignored; consumed files are unlinked.
+    """
+    try:
+        names = os.listdir(spool_dir)
+    except OSError:  # spool removed by close()
+        return []
+    committed: List[CommittedResult] = []
+    for name in names:
+        if name.endswith(RESULT_SUFFIX):
+            error = False
+        elif name.endswith(ERROR_SUFFIX):
+            error = True
+        else:
+            continue  # an in-progress .tmp
+        stem = name.rsplit(".", 1)[0]
+        try:
+            task_id, attempt = (int(part) for part in stem.split("-"))
+        except ValueError:  # pragma: no cover - foreign file in the spool
+            continue
+        path = os.path.join(spool_dir, name)
+        crash = False
+        nbytes = 0
+        value: Any = None
+        try:
+            with open(path, "rb") as fh:
+                payload = fh.read()
+            nbytes = len(payload)
+            if error:
+                value = payload.decode("utf-8", "replace")
+            else:
+                value = pickle.loads(payload)
+        except Exception as err:  # the rename committed, so this is abnormal
+            crash = True
+            value = f"could not read spooled result: {err!r}"
+        unlink_quietly(path)
+        committed.append(CommittedResult(task_id=task_id, attempt=attempt,
+                                         value=value, error=error, crash=crash,
+                                         payload_nbytes=nbytes))
+    return committed
+
+
+# ---------------------------------------------------------------------------
+# The transport contract and registry
+# ---------------------------------------------------------------------------
+
+class WorkerTransport:
+    """Contract between a stage executor and its execution substrate.
+
+    Implementations provide workers (threads, pool slots, node-agent
+    processes), move task frames to them, and surface *committed*
+    results back.  The executor owns retries, futures, backpressure and
+    kill accounting; the transport owns processes, sockets and spools.
+    """
+
+    #: Registry name of the transport kind.
+    kind: str = "abstract"
+    #: Whether :meth:`kill` can actually SIGKILL a worker (chaos hooks).
+    supports_kill: bool = False
+    #: Whether workers live in other OS processes (drives zero-copy
+    #: shared-memory placement: results must cross a process boundary
+    #: for spool/SharedComposite accounting to mean anything).
+    uses_processes: bool = False
+    #: Whether close() waits for in-flight tasks to finish and commit
+    #: (host threads cannot be abandoned mid-task; processes can).
+    drain_on_close: bool = False
+
+    def start(self, workers: int) -> None:
+        """Pre-provision ``workers`` execution vehicles (spawn/attach)."""
+        raise NotImplementedError
+
+    def acquire(self, *, spawn: bool = True):
+        """Borrow an idle worker ref, or ``None`` when none is available.
+
+        ``spawn=False`` must never create a new OS process -- callers on
+        router threads use it so forking cannot race other threads'
+        queue feeders; ``spawn=True`` may grow/restart the substrate.
+        """
+        raise NotImplementedError
+
+    def send(self, ref, frame: TaskFrame) -> None:
+        """Hand ``frame`` to the worker behind ``ref`` (fire and forget)."""
+        raise NotImplementedError
+
+    def probe(self, ref) -> bool:
+        """Liveness: is the worker behind ``ref`` still able to commit?"""
+        raise NotImplementedError
+
+    def kill(self, ref) -> None:
+        """Hard-kill (SIGKILL) the worker behind ``ref`` (chaos hook)."""
+        raise NotImplementedError
+
+    def release(self, ref) -> None:
+        """Return a worker whose task committed; it may be reused."""
+        raise NotImplementedError
+
+    def discard(self, ref) -> None:
+        """Condemn a worker that died or may still run an abandoned task."""
+        raise NotImplementedError
+
+    def poll_committed(self) -> List[CommittedResult]:
+        """Collect results committed since the last poll (consuming)."""
+        raise NotImplementedError
+
+    def wait(self, timeout: float) -> None:
+        """Router idle hook: sleep up to ``timeout`` awaiting commits."""
+        time.sleep(timeout)
+
+    def alive_workers(self) -> int:
+        """Live workers, busy or idle (0 signals total substrate loss)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear down workers and spools (idempotent)."""
+        raise NotImplementedError
+
+
+#: A transport factory builds a WorkerTransport from keyword arguments.
+TransportFactory = Callable[..., WorkerTransport]
+
+
+@dataclass(frozen=True)
+class _TransportEntry:
+    name: str
+    factory: TransportFactory
+    description: str
+
+
+_TRANSPORTS: Dict[str, _TransportEntry] = {}
+
+
+def register_transport(name: str, *, description: str = "") -> Callable[
+        [TransportFactory], TransportFactory]:
+    """Register a transport factory under ``name`` (decorator).
+
+    Mirrors the engine/backend/rule/scenario registries: unknown names
+    raise a :class:`ValueError` listing what *is* registered.
+    """
+    def decorator(factory: TransportFactory) -> TransportFactory:
+        if name in _TRANSPORTS:
+            raise ValueError(f"transport {name!r} is already registered")
+        _TRANSPORTS[name] = _TransportEntry(name=name, factory=factory,
+                                            description=description)
+        return factory
+    return decorator
+
+
+def transport_names() -> List[str]:
+    """Sorted names of every registered transport."""
+    return sorted(_TRANSPORTS)
+
+
+def describe_transports() -> Dict[str, str]:
+    """``name -> one-line description`` for help text and docs."""
+    return {name: _TRANSPORTS[name].description for name in transport_names()}
+
+
+def create_transport(name: str, **kwargs) -> WorkerTransport:
+    """Build a registered transport by name."""
+    entry = _TRANSPORTS.get(name)
+    if entry is None:
+        raise ValueError(f"unknown transport {name!r}; registered transports: "
+                         f"{', '.join(transport_names())}")
+    return entry.factory(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# In-process transport (host threads)
+# ---------------------------------------------------------------------------
+
+#: The single opaque worker ref of the in-process transport: host threads
+#: are interchangeable and cannot die under us, so one token serves all.
+_THREAD_WORKER_REF = "__inprocess_worker__"
+
+
+@register_transport("inprocess",
+                    description="host threads inside the session process "
+                                "(no pickling, GIL-bound compute)")
+class InProcessTransport(WorkerTransport):
+    """Stage tasks on host threads; results hand over in memory.
+
+    Backs the ``local`` and ``sim`` backend specs.  There is no spool
+    and no serialisation: a finished task appends its outcome to an
+    in-memory queue and wakes the router, so ``payload_nbytes`` stays 0
+    and the executor's payload accounting stays empty -- exactly the
+    observable contract the old ``ThreadStageExecutor`` had.
+    """
+
+    kind = "inprocess"
+    supports_kill = False
+    uses_processes = False
+    drain_on_close = True
+
+    def __init__(self, *, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._workers = workers
+        self._executor = ThreadPoolExecutor(max_workers=workers,
+                                            thread_name_prefix="stage")
+        self._committed: Deque[CommittedResult] = collections.deque()
+        self._wakeup = threading.Event()
+        self._closed = False
+
+    def start(self, workers: int) -> None:
+        pass  # the thread pool grows lazily up to max_workers
+
+    def acquire(self, *, spawn: bool = True) -> Optional[str]:
+        return _THREAD_WORKER_REF  # executor backpressure bounds concurrency
+
+    def send(self, ref, frame: TaskFrame) -> None:
+        def run() -> None:
+            try:
+                value = frame.fn(*frame.args, **frame.kwargs)
+            except Exception as err:  # noqa: BLE001 - task errors reported, not fatal
+                self._commit(CommittedResult(frame.task_id, frame.attempt,
+                                             value=err, error=True))
+                return
+            self._commit(CommittedResult(frame.task_id, frame.attempt,
+                                         value=value))
+        try:
+            self._executor.submit(run)
+        except RuntimeError as err:  # close() won the race to shutdown
+            raise RuntimeStateError("in-process transport is closed") from err
+
+    def _commit(self, result: CommittedResult) -> None:
+        self._committed.append(result)
+        self._wakeup.set()
+
+    def probe(self, ref) -> bool:
+        return True  # host threads cannot be SIGKILLed out from under us
+
+    def kill(self, ref) -> None:
+        raise NotImplementedError(
+            "thread-backed stage executors cannot lose a worker to SIGKILL; "
+            "use a 'process' or 'socket' backend spec to exercise crash "
+            "recovery")
+
+    def release(self, ref) -> None:
+        pass
+
+    def discard(self, ref) -> None:
+        pass
+
+    def poll_committed(self) -> List[CommittedResult]:
+        committed: List[CommittedResult] = []
+        while True:
+            try:
+                committed.append(self._committed.popleft())
+            except IndexError:
+                return committed
+
+    def wait(self, timeout: float) -> None:
+        # Event-driven instead of sleep-polling: a commit wakes the router
+        # immediately, keeping thread-backed latency on par with the old
+        # callback-driven executor.
+        self._wakeup.wait(timeout)
+        self._wakeup.clear()
+
+    def alive_workers(self) -> int:
+        return self._workers
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+# ---------------------------------------------------------------------------
+# Forked-process transport (ProcessPool slots)
+# ---------------------------------------------------------------------------
+
+@register_transport("forked-process",
+                    description="long-lived ProcessPool slots; task frames on "
+                                "per-slot mp queues, results through the "
+                                "atomic spool commit")
+class ForkedProcessTransport(WorkerTransport):
+    """Stage tasks on :class:`~repro.scp.pool.ProcessPool` slots.
+
+    Backs the ``process:N`` backend spec.  Task frames travel over each
+    slot's private inbox queue (written only by this parent, read only
+    by that slot); results come back exclusively through the spool --
+    a killable worker never writes to a queue (see the module
+    docstring's invariants).
+    """
+
+    kind = "forked-process"
+    supports_kill = True
+    uses_processes = True
+
+    def __init__(self, pool: Optional[ProcessPool] = None, *,
+                 start_method: Optional[str] = None,
+                 owns_pool: Optional[bool] = None) -> None:
+        if pool is None:
+            pool = ProcessPool(start_method=start_method)
+            owns_pool = True if owns_pool is None else owns_pool
+        self._pool = pool
+        self._owns_pool = bool(owns_pool)
+        self._spool = tempfile.mkdtemp(prefix="scp-stages-", dir=spool_root())
+        self._closed = False
+
+    @property
+    def pool(self) -> ProcessPool:
+        """The slot pool (sessions share one pool across executors)."""
+        return self._pool
+
+    def start(self, workers: int) -> None:
+        if not self._pool.closed:
+            self._pool.ensure(workers)
+
+    def acquire(self, *, spawn: bool = True):
+        return self._pool.acquire(allow_spawn=spawn)
+
+    def send(self, ref, frame: TaskFrame) -> None:
+        ref.inbox.put((STAGE_ASSIGN, frame.task_id, frame.attempt, self._spool,
+                       frame.fn, frame.args, frame.kwargs))
+
+    def probe(self, ref) -> bool:
+        return ref.process.exitcode is None
+
+    def kill(self, ref) -> None:
+        ref.process.kill()
+
+    def release(self, ref) -> None:
+        self._pool.release(ref)
+
+    def discard(self, ref) -> None:
+        self._pool.discard(ref)
+
+    def poll_committed(self) -> List[CommittedResult]:
+        return collect_spool(self._spool)
+
+    def alive_workers(self) -> int:
+        return self._pool.size
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_pool:
+            self._pool.close()
+        shutil.rmtree(self._spool, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# Socket transport (localhost node agent over TCP)
+# ---------------------------------------------------------------------------
+
+def _send_frame(conn: socket_module.socket, obj: Any,
+                lock: threading.Lock) -> None:
+    """Pickle ``obj`` and write it length-prefixed (may raise OSError)."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    header = struct.pack(">I", len(payload))
+    with lock:
+        conn.sendall(header + payload)
+
+
+def _recv_exact(conn: socket_module.socket, count: int) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = conn.recv(min(remaining, 65536))
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(conn: socket_module.socket) -> Optional[Any]:
+    """Read one length-prefixed frame; ``None`` on EOF or a torn stream."""
+    header = _recv_exact(conn, 4)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    payload = _recv_exact(conn, length)
+    if payload is None:
+        return None
+    try:
+        return pickle.loads(payload)
+    except Exception:  # peer died mid-send: treat like EOF
+        return None
+
+
+class _SocketWorkerRef:
+    """Parent-side handle to one agent worker slot at one incarnation."""
+
+    __slots__ = ("index", "incarnation")
+
+    def __init__(self, index: int, incarnation: int) -> None:
+        self.index = index
+        self.incarnation = incarnation
+
+
+class _SocketSlot:
+    """Parent-side state of one agent worker slot."""
+
+    __slots__ = ("index", "incarnation", "alive", "busy")
+
+    def __init__(self, index: int, incarnation: int) -> None:
+        self.index = index
+        self.incarnation = incarnation
+        self.alive = True
+        self.busy = False
+
+
+@register_transport("socket",
+                    description="localhost node-agent process over "
+                                "length-prefixed TCP frames; results through "
+                                "the same atomic spool commit")
+class SocketTransport(WorkerTransport):
+    """Stage tasks on a node agent reached over a TCP frame stream.
+
+    The parent launches ``python -m repro.scp.transport`` as the *node
+    agent*, which connects back, spawns ``workers`` worker processes,
+    and relays task frames to their private inboxes.  Results bypass
+    the socket entirely: workers commit to the parent's tmpfs spool
+    with the shared atomic rename, so a SIGKILL anywhere -- one worker
+    or the whole agent -- can never tear the result path.  Worker
+    deaths are reported back as ``worker-dead`` frames; a dead agent is
+    detected by connection EOF (plus process polling) and restarted on
+    the next ``acquire(spawn=True)``, which is exactly the executor's
+    total-loss retry path.
+
+    Slot *incarnations* make refs ABA-safe: every reset/restart bumps
+    the slot's incarnation, so a stale ref from before a respawn can
+    never probe alive or release someone else's worker.
+    """
+
+    kind = "socket"
+    supports_kill = True
+    uses_processes = True
+
+    def __init__(self, *, workers: int = 4,
+                 start_method: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._workers = workers
+        self._start_method = start_method or default_start_method()
+        self._spool = tempfile.mkdtemp(prefix="scp-stages-", dir=spool_root())
+        self._lock = threading.Lock()          # slot/agent state
+        self._send_lock = threading.Lock()     # frame-stream serialisation
+        self._respawn_lock = threading.Lock()  # one restart at a time
+        self._incs = itertools.count()
+        self._closed = False
+        self._agent: Optional[subprocess.Popen] = None
+        self._conn: Optional[socket_module.socket] = None
+        self._reader: Optional[threading.Thread] = None
+        self._slots: List[_SocketSlot] = []
+        self._agent_alive = False
+        #: Agent restarts after total loss (observable recovery metric).
+        self.agent_restarts = 0
+
+    # ----------------------------------------------------------- agent state
+    def _agent_ok_locked(self) -> bool:
+        return (self._agent_alive and self._agent is not None
+                and self._agent.poll() is None)
+
+    @property
+    def agent_pid(self) -> Optional[int]:
+        """PID of the live node agent (chaos tests SIGKILL it directly)."""
+        with self._lock:
+            return self._agent.pid if self._agent_ok_locked() else None
+
+    def _spawn_agent(self) -> None:
+        """Launch a node agent and install its connection (no locks held)."""
+        listener = socket_module.socket(socket_module.AF_INET,
+                                        socket_module.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            port = listener.getsockname()[1]
+            inc_base = next(self._incs)
+            for _ in range(self._workers - 1):
+                next(self._incs)  # reserve one incarnation per initial slot
+            # The agent is a *fresh* interpreter: it must be able to import
+            # whatever modules the parent's task functions live in (test
+            # modules, scripts on an augmented path), so the parent's
+            # sys.path travels along.  ``-c`` rather than ``-m`` keeps
+            # runpy from re-executing the already-imported module.
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+            agent = subprocess.Popen(
+                [sys.executable, "-c",
+                 "import sys; from repro.scp.transport import _agent_cli; "
+                 "sys.exit(_agent_cli(sys.argv[1:]))", str(port),
+                 str(self._workers), str(inc_base), self._start_method],
+                close_fds=True, env=env)
+            listener.settimeout(_AGENT_CONNECT_TIMEOUT)
+            try:
+                conn, _ = listener.accept()
+            except OSError as err:
+                agent.kill()
+                raise RuntimeStateError(
+                    "socket transport: node agent did not connect back "
+                    f"within {_AGENT_CONNECT_TIMEOUT:.0f}s") from err
+        finally:
+            listener.close()
+        conn.setsockopt(socket_module.IPPROTO_TCP,
+                        socket_module.TCP_NODELAY, 1)
+        slots = [_SocketSlot(index, inc_base + index)
+                 for index in range(self._workers)]
+        reader = threading.Thread(target=self._reader_main, args=(conn,),
+                                  name="socket-transport-reader", daemon=True)
+        with self._lock:
+            self._conn = conn
+            self._agent = agent
+            self._slots = slots
+            self._agent_alive = True
+        self._reader = reader
+        reader.start()
+
+    def _teardown_agent(self) -> None:
+        """Drop the current agent/connection (no slot lock held)."""
+        with self._lock:
+            conn, agent, reader = self._conn, self._agent, self._reader
+            self._conn = None
+            self._agent_alive = False
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=1.0)
+        if agent is not None:
+            if agent.poll() is None:
+                agent.kill()
+            try:
+                agent.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+    def _respawn(self) -> None:
+        with self._respawn_lock:
+            with self._lock:
+                if self._closed or self._agent_ok_locked():
+                    return
+            _LOG.warning("socket transport: node agent lost; restarting")
+            self._teardown_agent()
+            self._spawn_agent()
+            self.agent_restarts += 1
+
+    def _reader_main(self, conn: socket_module.socket) -> None:
+        """Drain agent->parent frames (worker deaths); EOF marks agent dead."""
+        while True:
+            frame = _recv_frame(conn)
+            if frame is None:
+                break
+            if isinstance(frame, tuple) and frame and frame[0] == "worker-dead":
+                _, index, incarnation = frame
+                with self._lock:
+                    if (conn is self._conn and 0 <= index < len(self._slots)):
+                        slot = self._slots[index]
+                        if slot.incarnation == incarnation:
+                            slot.alive = False
+        with self._lock:
+            if conn is self._conn:
+                self._agent_alive = False
+
+    def _send(self, obj: Any) -> bool:
+        """Best-effort frame send; a broken stream marks the agent dead."""
+        conn = self._conn
+        if conn is None:
+            return False
+        # Pickling errors (an unpicklable stage fn) must surface to the
+        # caller; only the socket write is allowed to fail quietly.
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        header = struct.pack(">I", len(payload))
+        try:
+            with self._send_lock:
+                conn.sendall(header + payload)
+        except OSError:
+            with self._lock:
+                if conn is self._conn:
+                    self._agent_alive = False
+            return False
+        return True
+
+    # ------------------------------------------------------------- contract
+    def start(self, workers: int) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeStateError("socket transport is closed")
+            self._workers = max(self._workers, workers)
+            agent_up = self._agent_ok_locked()
+            first_spawn = self._agent is None
+        if not agent_up:
+            if first_spawn:
+                self._spawn_agent()
+            else:
+                self._respawn()
+
+    def acquire(self, *, spawn: bool = True) -> Optional[_SocketWorkerRef]:
+        with self._lock:
+            if self._closed:
+                raise RuntimeStateError("socket transport is closed")
+            agent_up = self._agent_ok_locked()
+            ref: Optional[_SocketWorkerRef] = None
+            reset_frame: Optional[Tuple] = None
+            if agent_up:
+                for slot in self._slots:
+                    if slot.alive and not slot.busy:
+                        slot.busy = True
+                        ref = _SocketWorkerRef(slot.index, slot.incarnation)
+                        break
+                if ref is None:
+                    # No live idle worker: recycle a dead idle slot in place
+                    # (the agent swaps in a fresh worker before any later
+                    # task frame reaches it -- the stream is ordered).
+                    for slot in self._slots:
+                        if not slot.alive and not slot.busy:
+                            incarnation = next(self._incs)
+                            slot.incarnation = incarnation
+                            slot.alive = True
+                            slot.busy = True
+                            ref = _SocketWorkerRef(slot.index, incarnation)
+                            reset_frame = ("reset", slot.index, incarnation)
+                            break
+        if agent_up:
+            if reset_frame is not None and not self._send(reset_frame):
+                self.release(ref)
+                return None  # agent died under us; total-loss path handles it
+            return ref
+        if not spawn:
+            return None
+        self._respawn()
+        with self._lock:
+            for slot in self._slots:
+                if slot.alive and not slot.busy:
+                    slot.busy = True
+                    return _SocketWorkerRef(slot.index, slot.incarnation)
+        return None
+
+    def send(self, ref: _SocketWorkerRef, frame: TaskFrame) -> None:
+        # A failed send is not an error: the sweep will see the ref probe
+        # dead and re-dispatch through the total-loss path, which is the
+        # whole-agent crash recovery story.
+        self._send(("task", ref.index, ref.incarnation, frame.task_id,
+                    frame.attempt, self._spool, frame.fn, frame.args,
+                    frame.kwargs))
+
+    def probe(self, ref: _SocketWorkerRef) -> bool:
+        with self._lock:
+            if not self._agent_ok_locked():
+                return False
+            if not 0 <= ref.index < len(self._slots):
+                return False
+            slot = self._slots[ref.index]
+            return slot.incarnation == ref.incarnation and slot.alive
+
+    def kill(self, ref: _SocketWorkerRef) -> None:
+        self._send(("kill", ref.index, ref.incarnation))
+
+    def release(self, ref: Optional[_SocketWorkerRef]) -> None:
+        if ref is None:
+            return
+        with self._lock:
+            if 0 <= ref.index < len(self._slots):
+                slot = self._slots[ref.index]
+                if slot.incarnation == ref.incarnation:
+                    slot.busy = False
+
+    def discard(self, ref: _SocketWorkerRef) -> None:
+        reset_frame: Optional[Tuple] = None
+        with self._lock:
+            if self._closed or not self._agent_ok_locked():
+                return  # a dead agent took the worker with it
+            if not 0 <= ref.index < len(self._slots):
+                return
+            slot = self._slots[ref.index]
+            if slot.incarnation != ref.incarnation:
+                return  # already recycled under a newer incarnation
+            incarnation = next(self._incs)
+            slot.incarnation = incarnation
+            slot.alive = True
+            slot.busy = False
+            reset_frame = ("reset", ref.index, incarnation)
+        self._send(reset_frame)
+
+    def poll_committed(self) -> List[CommittedResult]:
+        return collect_spool(self._spool)
+
+    def alive_workers(self) -> int:
+        with self._lock:
+            if not self._agent_ok_locked():
+                return 0
+            return sum(1 for slot in self._slots if slot.alive)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._send(("shutdown",))
+        self._closed = True
+        self._teardown_agent()
+        shutil.rmtree(self._spool, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# Node-agent side (runs as ``python -m repro.scp.transport``)
+# ---------------------------------------------------------------------------
+
+class _AgentSlot:
+    """Agent-side record of one worker process and its private inbox."""
+
+    __slots__ = ("process", "inbox", "incarnation")
+
+    def __init__(self, process, inbox, incarnation: int) -> None:
+        self.process = process
+        self.inbox = inbox
+        self.incarnation = incarnation
+
+
+def _socket_worker_main(inbox) -> None:
+    """Idle loop of a socket-transport worker: run stage tasks, commit.
+
+    Results go straight to the parent-owned spool directory named in
+    each task frame -- never back through the inbox or the socket.  The
+    worker also self-terminates when orphaned (its parent, the node
+    agent, was SIGKILLed), so a whole-agent kill leaves no strays.
+    """
+    from .stages import try_run_stage
+    parent = os.getppid()
+    while True:
+        try:
+            item = inbox.get(timeout=1.0)
+        except queue_module.Empty:
+            if os.getppid() != parent:  # the node agent died underneath us
+                return
+            continue
+        except (OSError, ValueError):  # inbox torn down: nothing left to do
+            return
+        if isinstance(item, str) and item == _WORKER_EXIT:
+            return
+        try_run_stage(item, None)
+
+
+def _spawn_agent_worker(ctx, incarnation: int) -> _AgentSlot:
+    inbox = ctx.Queue()
+    process = ctx.Process(target=_socket_worker_main, args=(inbox,),
+                          name=f"scp-socket-worker-{incarnation}", daemon=True)
+    process.start()
+    return _AgentSlot(process, inbox, incarnation)
+
+
+def _agent_retire_slot(slot: _AgentSlot) -> None:
+    if slot.process.exitcode is None:
+        slot.process.kill()
+    slot.process.join(timeout=1.0)
+    slot.inbox.cancel_join_thread()
+    slot.inbox.close()
+
+
+def _agent_handle(ctx, slots: List[_AgentSlot], frame: Tuple) -> None:
+    kind = frame[0]
+    if kind == "task":
+        _, index, incarnation, task_id, attempt, spool_dir, fn, args, kwargs = frame
+        slot = slots[index]
+        if slot.incarnation != incarnation:
+            return  # task aimed at an incarnation a reset already replaced
+        slot.inbox.put((STAGE_ASSIGN, task_id, attempt, spool_dir,
+                        fn, args, kwargs))
+    elif kind == "kill":
+        _, index, incarnation = frame
+        slot = slots[index]
+        if slot.incarnation == incarnation and slot.process.exitcode is None:
+            slot.process.kill()
+    elif kind == "reset":
+        _, index, incarnation = frame
+        _agent_retire_slot(slots[index])
+        slots[index] = _spawn_agent_worker(ctx, incarnation)
+
+
+def _node_agent_main(port: int, workers: int, inc_base: int,
+                     start_method: str) -> None:
+    """Control loop of the node agent.
+
+    Single-threaded: connect back to the parent, spawn the worker
+    processes, then multiplex frame handling with a worker-liveness
+    sweep on a short ``select`` timeout.  Worker deaths are reported as
+    ``worker-dead`` frames; parent death (connection EOF) tears the
+    whole agent down, workers included.
+    """
+    conn = socket_module.create_connection(("127.0.0.1", port))
+    conn.setsockopt(socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY, 1)
+    ctx = multiprocessing.get_context(start_method)
+    send_lock = threading.Lock()
+    slots = [_spawn_agent_worker(ctx, inc_base + index)
+             for index in range(workers)]
+    reported: set = set()
+    try:
+        while True:
+            readable, _, _ = select.select([conn], [], [], 0.05)
+            if readable:
+                frame = _recv_frame(conn)
+                if frame is None or frame[0] == "shutdown":
+                    return
+                _agent_handle(ctx, slots, frame)
+            for index, slot in enumerate(slots):
+                if (slot.process.exitcode is not None
+                        and (index, slot.incarnation) not in reported):
+                    reported.add((index, slot.incarnation))
+                    _send_frame(conn, ("worker-dead", index, slot.incarnation),
+                                send_lock)
+    except OSError:
+        return  # parent gone mid-frame; cleanup below still runs
+    finally:
+        for slot in slots:
+            _agent_retire_slot(slot)
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def _agent_cli(argv: List[str]) -> int:
+    if len(argv) != 4:
+        print("usage: python -m repro.scp.transport "
+              "<port> <workers> <inc_base> <start_method>", file=sys.stderr)
+        return 2
+    _node_agent_main(int(argv[0]), int(argv[1]), int(argv[2]), argv[3])
+    return 0
+
+
+__all__ = [
+    "CommittedResult",
+    "ForkedProcessTransport",
+    "InProcessTransport",
+    "STAGE_ASSIGN",
+    "SocketTransport",
+    "TaskFrame",
+    "WorkerTransport",
+    "collect_spool",
+    "create_transport",
+    "describe_transports",
+    "register_transport",
+    "transport_names",
+]
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    sys.exit(_agent_cli(sys.argv[1:]))

@@ -74,7 +74,7 @@ class TestBackendSpec:
 
 class TestBackendRegistry:
     def test_names_and_descriptions(self):
-        assert backend_names() == ["local", "process", "sim"]
+        assert backend_names() == ["local", "process", "sim", "socket"]
         descriptions = describe_backends()
         assert set(descriptions) == set(backend_names())
         assert all(descriptions.values())
@@ -230,4 +230,4 @@ class TestDeprecationShims:
                      "backend_names", "register_engine", "register_backend"):
             assert hasattr(repro, name), name
         assert repro.engine_names() == ["distributed", "pipeline", "resilient", "sequential"]
-        assert repro.backend_names() == ["local", "process", "sim"]
+        assert repro.backend_names() == ["local", "process", "sim", "socket"]

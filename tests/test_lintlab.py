@@ -88,7 +88,8 @@ def test_rpl001_sanctioned_inside_shared_module():
 
 def test_rpl002_sanctioned_inside_mailbox_modules():
     source, _ = load_fixture("rpl002_bad.py")
-    for role in ("src/repro/scp/pool.py", "src/repro/scp/process_backend.py"):
+    for role in ("src/repro/scp/pool.py", "src/repro/scp/process_backend.py",
+                 "src/repro/scp/transport.py"):
         report = lint_source(source, virtual_path=role)
         assert [f for f in report.findings if f.code == "RPL002"] == []
 
