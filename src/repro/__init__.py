@@ -55,10 +55,11 @@ from .config import (COMPUTE_DTYPES, FusionConfig, PAPER_SETUP, PaperSetup,
                      PartitionConfig, ResilienceConfig, ScreeningConfig)
 from .core import (DistributedPCT, DistributedRunOutcome, FusionResult,
                    ResilientPCT, ResilientRunOutcome, SpectralScreeningPCT)
+from .core.kernels import compute_names, register_compute
 from .core.profiling import StageTiming
 from .data import HydiceConfig, HydiceGenerator, HyperspectralCube, generate_cube
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     # Unified fusion API
@@ -77,6 +78,9 @@ __all__ = [
     "get_engine",
     "register_backend",
     "register_engine",
+    # Compute-kernel tier
+    "compute_names",
+    "register_compute",
     # Profiling
     "StageTiming",
     # Configuration

@@ -95,6 +95,12 @@ class FusionRequest:
     #: arithmetic) or ``"float32"`` (the documented fast mode).  ``None``
     #: keeps whatever ``config`` says.
     compute_dtype: Optional[str] = None
+    #: Compute backend of the hot kernels (:func:`repro.compute_names` lists
+    #: the registered tiers): ``"numpy"`` (reference) or ``"numba"``
+    #: (jit-fused; degrades to numpy with a warning when numba is missing).
+    #: Bit-identical in float64 on every engine and transport.  ``None``
+    #: keeps whatever ``config`` says.
+    compute: Optional[str] = None
 
     # ---------------------------------------------------------- normalisation
     def backend_choice(self, default: str = "sim") -> Union[BackendSpec, Backend]:
@@ -135,6 +141,9 @@ class FusionRequest:
             # FusionConfig.__post_init__ validates the dtype (its
             # ConfigurationError is a ValueError, message included).
             base = dataclasses.replace(base, compute_dtype=self.compute_dtype)
+        if self.compute is not None:
+            # Validated the same way, against the kernel registry's names.
+            base = dataclasses.replace(base, compute=self.compute)
         return base
 
     def replace(self, **changes: Any) -> "FusionRequest":
@@ -222,13 +231,24 @@ class FusionReport:
         return info
 
     def profile_table(self) -> str:
-        """The per-stage profile as a fixed-width table (``--profile``)."""
+        """The per-stage profile as a fixed-width table (``--profile``).
+
+        Each stage is labelled with the compute backend the run used and a
+        ``%peak`` column relates its effective GFLOP/s to the one-shot
+        measured host GEMM rate (:func:`~repro.core.profiling.
+        measured_gemm_peak_gflops`), so "is this stage BLAS-bound or
+        overhead-bound?" reads straight off the table.
+        """
+        from ..core.profiling import measured_gemm_peak_gflops
+
         clock = ("virtual" if self.backend.startswith("sim") and
                  self.engine in ("distributed", "resilient") else "wall")
         return stage_timings_table(
             self.stage_timings,
             title=f"per-stage profile ({self.engine} on {self.backend}, "
-                  f"{clock} clock)")
+                  f"{clock} clock)",
+            compute=str(self.result.metadata.get("compute", "numpy")),
+            peak_gflops=measured_gemm_peak_gflops())
 
 
 __all__ = ["FusionRequest", "FusionReport"]

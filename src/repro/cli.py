@@ -31,6 +31,7 @@ from .api.engines import engine_names
 from .api.facade import fuse as api_fuse
 from .config import (COMPUTE_DTYPES, FusionConfig, PartitionConfig,
                      ResilienceConfig, ScreeningConfig)
+from .core.kernels import compute_names
 from .data.cube import HyperspectralCube
 from .data.hydice import HydiceConfig, HydiceGenerator
 from .logging_utils import configure_basic_logging
@@ -110,6 +111,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="arithmetic precision of the screening and projection "
                            "kernels; float64 (default) is bit-identical to the "
                            "reference, float32 is the documented fast mode")
+    fuse.add_argument("--compute", choices=compute_names(), default=None,
+                      help="compute backend of the hot kernels; numpy "
+                           "(default) is the always-available reference, "
+                           "numba is the jit-fused tier (bit-identical in "
+                           "float64, degrades to numpy with a warning when "
+                           "numba is not installed)")
     fuse.add_argument("--profile", action="store_true",
                       help="print the per-stage profile (seconds, rows/s, "
                            "effective GFLOP/s) after the fusion summary")
@@ -298,6 +305,8 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         options["adaptive_tiles"] = True
     if args.compute_dtype is not None:
         options["compute_dtype"] = args.compute_dtype
+    if args.compute is not None:
+        options["compute"] = args.compute
     if args.engine == "resilient":
         options["replication"] = args.replication
         if args.attack:
@@ -324,6 +333,8 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         summary[label] = f"{report.elapsed_seconds:.2f}"
     if args.compute_dtype is not None:
         summary["compute_dtype"] = args.compute_dtype
+    if args.compute is not None:
+        summary["compute"] = args.compute
     label_map = cube.metadata.get("target_mask")
     if label_map is not None:
         quality = enhancement_report(cube, result.composite, label_map)

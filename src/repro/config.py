@@ -168,11 +168,26 @@ class FusionConfig:
     #: -- roughly half the memory traffic on the two bandwidth-bound stages,
     #: at the cost of composites that only match to single precision.
     compute_dtype: str = "float64"
+    #: Compute backend of the hot kernels (the registry in
+    #: :mod:`repro.core.kernels`): ``"numpy"`` (default, the always-available
+    #: reference) or ``"numba"`` (jit-fused elementwise passes around the
+    #: same BLAS reductions; degrades to numpy with a warning when numba is
+    #: not installed).  Orthogonal to ``compute_dtype``: the backend picks
+    #: *how* the arithmetic runs, the dtype picks its precision, and every
+    #: backend is bit-identical in float64 -- the policy can change
+    #: throughput, never bytes.
+    compute: str = "numpy"
 
     def __post_init__(self) -> None:
         _require(self.compute_dtype in COMPUTE_DTYPES,
                  f"compute_dtype must be one of {COMPUTE_DTYPES}, "
                  f"got {self.compute_dtype!r}")
+        # Imported lazily: the kernels registry lives in the numeric core,
+        # which this module must not import at module scope.
+        from .core.kernels.registry import compute_names
+        _require(self.compute in compute_names(),
+                 f"compute must be one of {tuple(compute_names())}, "
+                 f"got {self.compute!r}")
 
     def with_workers(self, workers: int, subcubes: Optional[int] = None) -> "FusionConfig":
         """Return a copy configured for a different worker count."""

@@ -1,0 +1,274 @@
+"""The ``numba`` compute backend: jitted elementwise fusion, same-BLAS sums.
+
+Design rule (the **same-BLAS reduction rule**): a hand-written loop cannot
+be bit-identical to a BLAS matrix product -- GEMM blocks and reassociates
+its accumulations, fuses multiply-adds, and numpy additionally lowers
+``A.T @ A`` to a symmetric rank-k update.  So this tier never re-implements
+a reduction.  Every GEMM/SYRK runs as **exactly the numpy call the
+reference backend makes, on operands with the same values, dtypes and
+layouts** -- and everything *around* the reductions (centring, dtype
+narrowing, the stretch/clip/offset colour chain, survivor bookkeeping) is
+fused into single-pass ``@njit`` loops.  Those are elementwise, one
+floating-point operation per element in the reference's operation order, so
+bit-identity with the ``numpy`` tier holds by construction in both compute
+dtypes; the property suite asserts it anyway.
+
+The lone exception is the screening survivor elimination, whose pivot
+cosines are explicit jitted dot products: a first-to-last accumulation may
+differ from the BLAS GEMV in the final ulp, which can only matter for a
+cosine within one rounding unit of the admission threshold -- the same
+measure-zero boundary already documented for the screening kernel itself.
+
+numba is a *soft* dependency (the ``accel`` extra).  The kernels below are
+plain Python functions with numpy semantics; when numba imports they are
+compiled with ``@njit`` on first use, and when it does not they remain
+directly callable (slow but correct), which is how the equivalence suite
+exercises this tier's arithmetic on hosts without numba.  Selection-time
+degradation is separate: :func:`~repro.core.kernels.registry.
+resolve_compute` routes ``compute="numba"`` to the numpy tier (with a
+warning) whenever :meth:`NumbaBackend.available` is false, so production
+runs never hit the uncompiled forms.
+"""
+
+from __future__ import annotations
+
+from importlib.util import find_spec
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..steps.colormap import OPPONENCY_MATRIX, _OFFSET, _SCALE
+from ..steps.transform import PCTBasis
+from .numpy_backend import (_block_matrix, _scratch, _stretch_statistics,
+                            _validated_pixel_matrix)
+from .registry import ComputeBackend, register_compute
+
+
+# ---------------------------------------------------------------------------
+# Kernel bodies: plain Python, numpy semantics, numba-compilable.
+# ---------------------------------------------------------------------------
+
+def _centre(pixels, mean, out):
+    """``out = pixels - mean`` fused over the matrix (one op per element)."""
+    n, bands = pixels.shape
+    for i in range(n):
+        for j in range(bands):
+            out[i, j] = pixels[i, j] - mean[j]
+
+
+def _centre_narrow(pixels, mean, out):
+    """Fused float64 -> float32 narrowing + centring (``astype`` + subtract
+    in one pass; ``mean`` and ``out`` are float32)."""
+    n, bands = pixels.shape
+    for i in range(n):
+        for j in range(bands):
+            out[i, j] = np.float32(pixels[i, j]) - mean[j]
+
+
+def _stretch_chain(first_three, mean, scale, out):
+    """The colour-map stretch in one pass: centre, scale, clip, offset.
+
+    Reproduces ``stretch_components`` followed by ``color_map``'s ``- 128``
+    exactly -- including the seemingly redundant ``+ 128`` then ``- 128``,
+    which is *not* an identity for magnitudes below the rounding unit of
+    128 and therefore must stay in the operation sequence.
+    """
+    n = first_three.shape[0]
+    for i in range(n):
+        for c in range(3):
+            value = (first_three[i, c] - mean[c]) / scale[c] * _OFFSET
+            if value < -_OFFSET:
+                value = -_OFFSET
+            elif value > _OFFSET:
+                value = _OFFSET
+            out[i, c] = (value + _OFFSET) - _OFFSET
+
+
+def _offset_chain(first_three, out):
+    """The ``normalize=False`` colour path: just the ``- 128`` centring."""
+    n = first_three.shape[0]
+    for i in range(n):
+        for c in range(3):
+            out[i, c] = first_three[i, c] - _OFFSET
+
+
+def _finish_rgb(mixed, out):
+    """``clip((128 + mixed) / 256, 0, 1)`` fused into the output tile."""
+    n = mixed.shape[0]
+    for i in range(n):
+        for c in range(3):
+            value = (_OFFSET + mixed[i, c]) / _SCALE
+            if value < 0.0:
+                value = 0.0
+            elif value > 1.0:
+                value = 1.0
+            out[i, c] = value
+
+
+def _eliminate(survivors, survivor_rows, cos_threshold, room):
+    """Survivor elimination with explicit pivot dot products.
+
+    Decision-identical to the vectorised reference pass except for cosines
+    within one ulp of the threshold (see the module docstring); admitted
+    order and indices are preserved exactly.
+    """
+    n, bands = survivors.shape
+    alive = np.ones(n, dtype=np.bool_)
+    admitted = np.empty(n, dtype=np.intp)
+    count = 0
+    for i in range(n):
+        if not alive[i]:
+            continue
+        if count >= room:
+            break
+        admitted[count] = i
+        count += 1
+        alive[i] = False
+        for j in range(i + 1, n):
+            if alive[j]:
+                dot = survivors[j, 0] * survivors[i, 0]
+                for k in range(1, bands):
+                    dot = dot + survivors[j, k] * survivors[i, k]
+                if not dot < cos_threshold:
+                    alive[j] = False
+    return admitted[:count]
+
+
+_KERNEL_BODIES = {
+    "centre": _centre,
+    "centre_narrow": _centre_narrow,
+    "stretch_chain": _stretch_chain,
+    "offset_chain": _offset_chain,
+    "finish_rgb": _finish_rgb,
+    "eliminate": _eliminate,
+}
+
+
+def _compile_kernels() -> Dict[str, object]:
+    """The kernel table: ``@njit``-compiled when numba imports, the plain
+    Python bodies otherwise.  ``fastmath`` stays off -- reassociation and
+    FMA contraction are exactly what the bit-identity contract forbids."""
+    try:
+        from numba import njit
+    except Exception:
+        return dict(_KERNEL_BODIES)
+    return {name: njit(cache=True, fastmath=False)(fn)
+            for name, fn in _KERNEL_BODIES.items()}
+
+
+@register_compute("numba")
+class NumbaBackend(ComputeBackend):
+    """Jit-fused elementwise kernels around the reference BLAS reductions."""
+
+    fallback = "numpy"
+
+    def __init__(self) -> None:
+        self._kernels: Optional[Dict[str, object]] = None
+
+    @classmethod
+    def available(cls) -> bool:
+        return find_spec("numba") is not None
+
+    def _kernel(self, name: str):
+        if self._kernels is None:
+            self._kernels = _compile_kernels()
+        return self._kernels[name]
+
+    # ------------------------------------------------------------ covariance
+    def covariance_sum(self, pixels: np.ndarray, mean: np.ndarray) -> np.ndarray:
+        pixels, mean = _validated_pixel_matrix(pixels, mean)
+        centred = _scratch.get("centred", pixels.shape, np.float64)
+        self._kernel("centre")(pixels, mean, centred)
+        # Same-BLAS reduction: numpy's symmetric rank-k update, unchanged.
+        return centred.T @ centred
+
+    # ------------------------------------------------------------ projection
+    def _centred_matrix(self, matrix: np.ndarray, basis: PCTBasis,
+                        dtype: np.dtype) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if dtype == np.float64:
+            centred = _scratch.get("centred", matrix.shape, np.float64)
+            self._kernel("centre")(matrix, basis.mean, centred)
+            return centred
+        centred = _scratch.get("centred32", matrix.shape, dtype)
+        self._kernel("centre_narrow")(matrix, basis.mean.astype(dtype),
+                                      centred)
+        return centred
+
+    def project(self, pixels: np.ndarray, basis: PCTBasis, *,
+                compute_dtype=np.float64,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
+        pixels = np.asarray(pixels, dtype=np.float64)
+        if pixels.ndim != 2 or pixels.shape[1] != basis.bands:
+            raise ValueError(f"pixels of shape {pixels.shape} do not match "
+                             f"basis with {basis.bands} bands")
+        dtype = np.dtype(compute_dtype)
+        centred = self._centred_matrix(pixels, basis, dtype)
+        if dtype == np.float64:
+            if out is not None:
+                return np.matmul(centred, basis.components.T, out=out)
+            return centred @ basis.components.T
+        narrow = centred @ basis.components.astype(dtype, copy=False).T
+        if out is not None:
+            np.copyto(out, narrow)
+            return out
+        return narrow.astype(np.float64)
+
+    def project_block(self, block: np.ndarray, basis: PCTBasis, *,
+                      compute_dtype=np.float64) -> np.ndarray:
+        matrix, rows, cols = _block_matrix(block, basis)
+        transformed = self.project(matrix, basis, compute_dtype=compute_dtype)
+        return transformed.reshape(rows, cols, basis.n_components)
+
+    # ------------------------------------------------- fused step-7/8 tiles
+    def project_and_map(self, block: np.ndarray, basis: PCTBasis, *,
+                        n_components: int, normalize: bool,
+                        stretch_mean: np.ndarray, stretch_std: np.ndarray,
+                        compute_dtype=np.float64, clip_sigma: float = 2.5,
+                        components_out: Optional[np.ndarray] = None,
+                        composite_out: Optional[np.ndarray] = None):
+        matrix, rows, cols = _block_matrix(block, basis)
+        pixels = rows * cols
+        product = _scratch.get("product", (pixels, basis.n_components),
+                               np.float64)
+        self.project(matrix, basis, compute_dtype=compute_dtype, out=product)
+        planes = product.reshape(rows, cols, basis.n_components)
+        if components_out is not None:
+            np.copyto(components_out, planes[..., :n_components])
+            components = components_out
+        else:
+            components = planes[..., :n_components].copy()
+
+        chain = _scratch.get("colour", (pixels, 3), np.float64)
+        first_three = product[:, :3]
+        if normalize:
+            mean, scale = _stretch_statistics(stretch_mean, stretch_std,
+                                              clip_sigma)
+            self._kernel("stretch_chain")(first_three, mean, scale, chain)
+        else:
+            self._kernel("offset_chain")(first_three, chain)
+        mixed = _scratch.get("mixed", (pixels, 3), np.float64)
+        # Same-BLAS reduction: the 3x3 opponency mix stays a numpy GEMM.
+        np.matmul(chain, OPPONENCY_MATRIX.T, out=mixed)
+        if composite_out is not None:
+            self._kernel("finish_rgb")(mixed, composite_out.reshape(pixels, 3))
+            return components, composite_out
+        composite = np.empty((pixels, 3), dtype=np.float64)
+        self._kernel("finish_rgb")(mixed, composite)
+        return components, composite.reshape(rows, cols, 3)
+
+    # ------------------------------------------------------------- screening
+    def eliminate_survivors(self, survivors: np.ndarray,
+                            survivor_rows: np.ndarray, cos_threshold,
+                            *, room: Optional[int] = None):
+        survivors = np.ascontiguousarray(survivors)
+        survivor_rows = np.asarray(survivor_rows)
+        if room is None:
+            room = survivors.shape[0]
+        admitted = self._kernel("eliminate")(
+            survivors, survivor_rows, survivors.dtype.type(cos_threshold),
+            int(room))
+        return survivors[admitted], survivor_rows[admitted].astype(np.intp)
+
+
+__all__ = ["NumbaBackend"]

@@ -1,0 +1,160 @@
+"""Compute-backend registry: named kernel tiers behind one protocol.
+
+A *compute backend* decides how the three hot numeric kernels of the fusion
+pipeline are executed -- the fused centre+SYRK covariance partial, the fused
+centre/project/stretch of the step-7 tiles, and the screening
+survivor-elimination inner pass.  It is the arithmetic analogue of the
+engine/backend registries: engines decide *where* work runs, the compute
+policy decides *which kernel implementation* runs it, and both travel as
+plain strings so forked and socket-transport workers re-resolve the kernel
+by name instead of unpickling functions.
+
+Backends are registered by name with :func:`register_compute` and looked up
+with :func:`get_compute`; :func:`resolve_compute` additionally applies the
+degradation policy (an unavailable backend falls back to its declared
+fallback with a warning -- ``compute="numba"`` without numba installed runs
+the numpy reference instead of failing).  The registry is deliberately open:
+a ``cupy`` tier later is one decorated class, exactly like adding an engine.
+
+Contract
+--------
+Every backend produces *bit-identical* float64 results to the ``numpy``
+reference backend (the same invariant the engines hold against the
+sequential reference); float32 is the documented tolerance tier.  The
+kernel-tier property suite asserts this, and the contract is what lets the
+compute policy compose freely with every engine, transport and scenario --
+it can change throughput, never bytes.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Dict, List, Optional, Type, TypeVar
+
+import numpy as np
+
+_COMPUTE_BACKENDS: Dict[str, Type["ComputeBackend"]] = {}
+_INSTANCES: Dict[str, "ComputeBackend"] = {}
+
+#: The decorated backend class passes through :func:`register_compute` unchanged.
+_BackendClass = TypeVar("_BackendClass", bound=Type["ComputeBackend"])
+
+
+class ComputeBackend:
+    """Base class of the registered kernel tiers.
+
+    Subclasses implement the three hot kernels (plus the matrix-level
+    ``project`` they share); the base class holds the registry metadata and
+    the availability hook the degradation policy consults.
+
+    Attributes
+    ----------
+    name:
+        Registered name (filled in by :func:`register_compute`).
+    fallback:
+        Name of the backend :func:`resolve_compute` degrades to when
+        :meth:`available` is ``False``.  ``None`` means the backend has no
+        soft dependency and must always work (the ``numpy`` reference).
+    """
+
+    name: str = "?"
+    fallback: Optional[str] = None
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether the backend's soft dependencies import on this host."""
+        return True
+
+    # -- the kernel surface; subclasses override ---------------------------
+    def covariance_sum(self, pixels: np.ndarray, mean: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def project(self, pixels: np.ndarray, basis, *, compute_dtype=np.float64,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def project_block(self, block: np.ndarray, basis, *,
+                      compute_dtype=np.float64) -> np.ndarray:
+        raise NotImplementedError
+
+    def project_and_map(self, block: np.ndarray, basis, *, n_components: int,
+                        normalize: bool, stretch_mean: np.ndarray,
+                        stretch_std: np.ndarray, compute_dtype=np.float64,
+                        components_out: Optional[np.ndarray] = None,
+                        composite_out: Optional[np.ndarray] = None):
+        raise NotImplementedError
+
+    def eliminate_survivors(self, survivors: np.ndarray,
+                            survivor_rows: np.ndarray, cos_threshold,
+                            *, room: Optional[int] = None):
+        raise NotImplementedError
+
+
+def register_compute(name: str) -> Callable[[_BackendClass], _BackendClass]:
+    """Class decorator registering a :class:`ComputeBackend` under ``name``."""
+    def decorator(cls: _BackendClass) -> _BackendClass:
+        if name in _COMPUTE_BACKENDS:
+            raise ValueError(f"compute backend {name!r} is already registered")
+        cls.name = name
+        _COMPUTE_BACKENDS[name] = cls
+        return cls
+    return decorator
+
+
+def compute_names() -> List[str]:
+    """Sorted names of every registered compute backend."""
+    return sorted(_COMPUTE_BACKENDS)
+
+
+def get_compute(name: str) -> ComputeBackend:
+    """The backend registered under ``name`` (no degradation policy).
+
+    Raises a :class:`ValueError` listing the registered names when ``name``
+    is unknown, so a typo in ``repro.fuse(cube, compute="...")`` is a
+    one-line fix.  Instances are cached: backends are stateless (scratch
+    buffers are thread-local) and resolution happens on every worker task.
+    """
+    try:
+        cls = _COMPUTE_BACKENDS[name]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown compute backend {name!r}; registered compute backends: "
+            f"{', '.join(compute_names())}") from None
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = _INSTANCES[name] = cls()
+    return instance
+
+
+#: Backends that already warned about degrading, so a tiled run emits one
+#: warning, not one per stage task.
+_DEGRADED_WARNED: set = set()
+
+
+def resolve_compute(name: str) -> ComputeBackend:
+    """The backend to actually run: ``name``, or its fallback when missing.
+
+    ``compute="numba"`` on a host without numba degrades to the ``numpy``
+    reference with a :class:`RuntimeWarning` (once per process) instead of
+    failing -- the policy is an acceleration hint, never a correctness knob,
+    because every tier is bit-identical in float64 anyway.
+    """
+    backend = get_compute(name)
+    if backend.available():
+        return backend
+    if backend.fallback is None:  # pragma: no cover - reference always available
+        raise ValueError(f"compute backend {name!r} is unavailable on this "
+                         f"host and declares no fallback")
+    if name not in _DEGRADED_WARNED:
+        _DEGRADED_WARNED.add(name)
+        warnings.warn(
+            f"compute backend {name!r} is not available on this host "
+            f"(soft dependency not installed); degrading to "
+            f"{backend.fallback!r}. Install the 'accel' extra "
+            f"(pip install repro-fusion[accel]) for the {name!r} tier.",
+            RuntimeWarning, stacklevel=2)
+    return resolve_compute(backend.fallback)
+
+
+__all__ = ["ComputeBackend", "register_compute", "compute_names",
+           "get_compute", "resolve_compute"]

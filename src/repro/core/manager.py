@@ -180,7 +180,8 @@ def manager_program(ctx: Context, *, cube: HyperspectralCube,
                            args=(unique_sets, screening.angle_threshold),
                            kwargs={"max_unique": screening.max_unique,
                                    "rescreen": screening.rescreen_merge,
-                                   "compute_dtype": config.compute_dtype},
+                                   "compute_dtype": config.compute_dtype,
+                                   "compute": config.compute},
                            flops=lambda merged, n=total_members, b=bands,
                                r=screening.rescreen_merge:
                                merge_flops(n, merged.shape[0], b, rescreen=r),
@@ -263,6 +264,8 @@ def manager_program(ctx: Context, *, cube: HyperspectralCube,
         "cols": cube.cols,
         "stretch_mean": stretch_mean,
         "stretch_std": stretch_std,
+        "compute_dtype": config.compute_dtype,
+        "compute": config.compute,
     }
     return FusionResult(composite=composite, components=components, basis=basis,
                         unique_set_size=int(unique.shape[0]), phase_flops={},

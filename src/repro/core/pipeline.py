@@ -27,12 +27,11 @@ from .partition import decompose, extract_subcube, subcube_pixel_matrix
 from .steps.colormap import color_map, color_map_flops, component_statistics
 from .steps.screening import (merge_unique_sets, screen_unique_set,
                               screening_flops)
-from .steps.statistics import (covariance_matrix, covariance_sum,
-                               covariance_sum_flops, mean_flops, mean_vector,
+from .steps.statistics import (covariance_matrix, covariance_sum_flops,
+                               mean_flops, mean_vector,
                                partition_pixel_matrix)
 from .steps.transform import (PCTBasis, eigendecomposition_flops, project,
-                              project_cube_block, projection_flops,
-                              transformation_matrix)
+                              projection_flops, transformation_matrix)
 
 
 @dataclass
@@ -115,9 +114,13 @@ class SpectralScreeningPCT:
         ``metadata["stage_invocations"]``, from which the engine layer
         derives :attr:`~repro.api.request.FusionReport.stage_timings`.
         """
+        from .kernels import resolve_compute
+
         screening = self.config.screening
         subcubes = self.config.partition.effective_subcubes
         compute_dtype = self.config.compute_dtype
+        compute = self.config.compute
+        kernel = resolve_compute(compute)
         stage_seconds: Dict[str, float] = {}
         stage_rows: Dict[str, int] = {}
         stage_invocations: Dict[str, int] = {}
@@ -141,13 +144,13 @@ class SpectralScreeningPCT:
                 block_pixels, screening.angle_threshold,
                 max_unique=screening.max_unique,
                 sample_stride=screening.sample_stride,
-                compute_dtype=compute_dtype))
+                compute_dtype=compute_dtype, compute=compute))
         total_members = int(sum(u.shape[0] for u in unique_sets))
         unique = timed("merge", total_members, merge_unique_sets,
                        unique_sets, screening.angle_threshold,
                        max_unique=screening.max_unique,
                        rescreen=screening.rescreen_merge,
-                       compute_dtype=compute_dtype)
+                       compute_dtype=compute_dtype, compute=compute)
 
         # Step 3: mean vector of the unique set.
         mean = timed("mean", int(unique.shape[0]), mean_vector, unique)
@@ -155,8 +158,9 @@ class SpectralScreeningPCT:
         # Steps 4-5: covariance of the unique set, accumulated per partition
         # exactly as the distributed workers do (identical summation order).
         parts = partition_pixel_matrix(unique, max(self.config.partition.workers, 1))
-        partial_sums = [timed("covariance", int(part.shape[0]), covariance_sum,
-                              part, mean) for part in parts]
+        partial_sums = [timed("covariance", int(part.shape[0]),
+                              kernel.covariance_sum, part, mean)
+                        for part in parts]
         covariance = covariance_matrix(partial_sums, total_pixels=unique.shape[0])
 
         # Step 6: transformation matrix.  The paper's formulation transforms
@@ -178,7 +182,7 @@ class SpectralScreeningPCT:
                   unique, stats_basis))
 
         # Step 7: transform the original cube, keeping the leading components.
-        components = timed("projection", cube.pixels, project_cube_block,
+        components = timed("projection", cube.pixels, kernel.project_block,
                            cube.data, basis,
                            compute_dtype=compute_dtype)[..., : self.n_components]
 
@@ -198,6 +202,7 @@ class SpectralScreeningPCT:
             "stretch_mean": stretch_mean,
             "stretch_std": stretch_std,
             "compute_dtype": compute_dtype,
+            "compute": compute,
             "stage_seconds": stage_seconds,
             "stage_rows": stage_rows,
             "stage_invocations": stage_invocations,

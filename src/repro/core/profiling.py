@@ -19,8 +19,11 @@ everywhere else they are measured wall clock.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
+
+import numpy as np
 
 from ..analysis.report import format_table
 
@@ -121,26 +124,86 @@ def stage_timings_from_result(result) -> Dict[str, StageTiming]:
                                phase_flops=flops)
 
 
+#: One-shot measured host GEMM peak (GFLOP/s), cached per process.
+_GEMM_PEAK_GFLOPS: Optional[float] = None
+
+
+def measured_gemm_peak_gflops(*, size: int = 384, repeats: int = 3,
+                              refresh: bool = False) -> float:
+    """The host's float64 GEMM rate, measured once and cached.
+
+    Times a small square ``A @ B`` (the same BLAS routine the projection and
+    covariance kernels reduce through) and converts the best of ``repeats``
+    runs to GFLOP/s.  This is a *practical* peak -- what the linked BLAS
+    actually delivers on this machine -- so the ``%peak`` column of the
+    ``--profile`` table reads as "fraction of what a pure dense GEMM would
+    achieve here", not a theoretical vector-unit bound.
+    """
+    global _GEMM_PEAK_GFLOPS
+    if _GEMM_PEAK_GFLOPS is not None and not refresh:
+        return _GEMM_PEAK_GFLOPS
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((size, size))
+    b = rng.standard_normal((size, size))
+    a @ b  # warm the BLAS dispatch before timing
+    best = min(_timed_gemm(a, b) for _ in range(max(repeats, 1)))
+    _GEMM_PEAK_GFLOPS = (2.0 * size ** 3) / best / 1e9
+    return _GEMM_PEAK_GFLOPS
+
+
+def _timed_gemm(a: "np.ndarray", b: "np.ndarray") -> float:
+    start = time.perf_counter()
+    a @ b
+    return max(time.perf_counter() - start, 1e-9)
+
+
 def stage_timings_table(timings: Mapping[str, StageTiming], *,
-                        title: Optional[str] = "per-stage profile") -> str:
-    """Fixed-width table of the per-stage profile (the ``--profile`` view)."""
+                        title: Optional[str] = "per-stage profile",
+                        compute: Optional[str] = None,
+                        peak_gflops: Optional[float] = None) -> str:
+    """Fixed-width table of the per-stage profile (the ``--profile`` view).
+
+    ``compute`` labels each stage with the compute backend the run used and
+    ``peak_gflops`` adds a ``%peak`` column relating each stage's effective
+    GFLOP/s to the one-shot measured host GEMM rate
+    (:func:`measured_gemm_peak_gflops`); both columns are omitted when the
+    caller does not supply them.
+    """
     headers = ["stage", "seconds", "calls", "rows", "rows/s", "GFLOP/s"]
+    if compute is not None:
+        headers.insert(1, "compute")
+    if peak_gflops is not None:
+        headers.append("%peak")
 
     def fmt(value: Optional[float], pattern: str) -> str:
         return "-" if value is None else pattern.format(value)
 
-    rows = [
-        [t.name, f"{t.seconds:.4f}", t.invocations,
-         "-" if t.rows is None else t.rows,
-         fmt(t.rows_per_second, "{:,.0f}"),
-         fmt(t.gflops_per_second, "{:.2f}")]
-        for t in timings.values()
-    ]
-    total = sum(t.seconds for t in timings.values())
-    rows.append(["total", f"{total:.4f}", sum(t.invocations for t in timings.values()),
-                 "-", "-", "-"])
+    def row_of(t: StageTiming) -> list:
+        row = [t.name, f"{t.seconds:.4f}", t.invocations,
+               "-" if t.rows is None else t.rows,
+               fmt(t.rows_per_second, "{:,.0f}"),
+               fmt(t.gflops_per_second, "{:.2f}")]
+        if compute is not None:
+            row.insert(1, compute)
+        if peak_gflops is not None:
+            rate = t.gflops_per_second
+            row.append("-" if rate is None or peak_gflops <= 0
+                       else f"{100.0 * rate / peak_gflops:.1f}%")
+        return row
+
+    rows = [row_of(t) for t in timings.values()]
+    total_row = ["total", f"{sum(t.seconds for t in timings.values()):.4f}",
+                 sum(t.invocations for t in timings.values()), "-", "-", "-"]
+    if compute is not None:
+        total_row.insert(1, compute)
+    if peak_gflops is not None:
+        total_row.append("-")
+    rows.append(total_row)
+    if peak_gflops is not None:
+        title = (f"{title}; host GEMM peak {peak_gflops:.2f} GFLOP/s"
+                 if title else f"host GEMM peak {peak_gflops:.2f} GFLOP/s")
     return format_table(headers, rows, title=title)
 
 
 __all__ = ["StageTiming", "build_stage_timings", "stage_timings_from_result",
-           "stage_timings_table"]
+           "stage_timings_table", "measured_gemm_peak_gflops"]

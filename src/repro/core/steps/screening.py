@@ -182,7 +182,8 @@ def _validate_screening_args(pixels: np.ndarray, angle_threshold: float,
 def screen_unique_set(pixels: np.ndarray, angle_threshold: float, *,
                       max_unique: int | None = None, sample_stride: int = 1,
                       chunk_size: int = 2048,
-                      compute_dtype=np.float64) -> np.ndarray:
+                      compute_dtype=np.float64,
+                      compute: str = "numpy") -> np.ndarray:
     """Greedy spectral screening of a ``(pixels, bands)`` matrix (step 1).
 
     Parameters
@@ -204,12 +205,21 @@ def screen_unique_set(pixels: np.ndarray, angle_threshold: float, *,
         always the raw float64 pixel vectors; only the normalisation and
         cosine comparisons run in the reduced precision, so float32 may make
         marginally different admission decisions near the threshold.
+    compute:
+        Compute backend executing the survivor-elimination inner pass
+        (:func:`repro.core.kernels.compute_names` lists the registered
+        tiers).  The decisions -- and therefore the unique set -- are the
+        same on every backend.
 
     Returns
     -------
     ndarray
         ``(unique, bands)`` float64 array of unique pixel vectors.
     """
+    # Imported lazily: the kernels package imports this module's siblings.
+    from ..kernels import resolve_compute
+
+    kernel = resolve_compute(compute)
     pixels = np.asarray(pixels, dtype=np.float64)
     _validate_screening_args(pixels, angle_threshold, sample_stride, chunk_size)
     if sample_stride > 1:
@@ -243,27 +253,18 @@ def screen_unique_set(pixels: np.ndarray, angle_threshold: float, *,
         survivors = chunk[survivor_rows]
         # Survivors may still be mutually similar: resolve them greedily.
         # The first survivor (lowest pixel index) is always admitted; every
-        # remaining survivor within the threshold of it is eliminated in one
-        # vectorised cosine pass, and the procedure repeats on the shrinking
-        # remainder.  This makes the same decisions as the sequential greedy
-        # pass in O(admitted) vector operations instead of a Python loop
-        # over every survivor row.
-        admitted: List[np.ndarray] = []
-        admitted_rows: List[int] = []
-        remaining = survivors
-        remaining_rows = survivor_rows
-        while remaining.shape[0]:
-            if max_unique is not None and len(buffer) + len(admitted) >= max_unique:
-                break
-            admitted.append(remaining[0])
-            admitted_rows.append(int(remaining_rows[0]))
-            alive = remaining @ remaining[0] < cos_threshold
-            alive[0] = False  # the pivot itself, even when cos_threshold == 1.0
-            remaining = remaining[alive]
-            remaining_rows = remaining_rows[alive]
-        if admitted:
-            buffer.append(np.stack(admitted))
-            indices.extend(start + row for row in admitted_rows)
+        # remaining survivor within the threshold of it is eliminated, and
+        # the procedure repeats on the shrinking remainder.  The inner pass
+        # is a registered compute kernel (the reference implementation is
+        # :meth:`~repro.core.kernels.numpy_backend.NumpyBackend.
+        # eliminate_survivors`); it makes the same decisions as the
+        # sequential greedy pass on every backend.
+        room = (None if max_unique is None else max_unique - len(buffer))
+        admitted, admitted_rows = kernel.eliminate_survivors(
+            survivors, survivor_rows, cos_threshold, room=room)
+        if admitted.shape[0]:
+            buffer.append(admitted)
+            indices.extend(start + int(row) for row in admitted_rows)
     return pixels[np.asarray(indices, dtype=np.intp)]
 
 
@@ -311,7 +312,8 @@ def screen_unique_set_reference(pixels: np.ndarray, angle_threshold: float, *,
 
 def merge_unique_sets(unique_sets: Sequence[np.ndarray], angle_threshold: float, *,
                       max_unique: int | None = None, rescreen: bool = False,
-                      compute_dtype=np.float64) -> np.ndarray:
+                      compute_dtype=np.float64,
+                      compute: str = "numpy") -> np.ndarray:
     """Merge per-partition unique sets into a single one (step 2).
 
     The paper only states that the per-worker sets are "sent back to the
@@ -344,7 +346,7 @@ def merge_unique_sets(unique_sets: Sequence[np.ndarray], angle_threshold: float,
             stacked = stacked[:max_unique]
         return stacked
     return screen_unique_set(stacked, angle_threshold, max_unique=max_unique,
-                             compute_dtype=compute_dtype)
+                             compute_dtype=compute_dtype, compute=compute)
 
 
 # --------------------------------------------------------------------------

@@ -108,7 +108,8 @@ def transformation_matrix(covariance: np.ndarray, mean: np.ndarray,
 
 
 def project(pixels: np.ndarray, basis: PCTBasis, *,
-            compute_dtype=np.float64) -> np.ndarray:
+            compute_dtype=np.float64,
+            out: Optional[np.ndarray] = None) -> np.ndarray:
     """Step 7: transform pixel vectors into principal component space.
 
     ``Cs_ij = A (Is_ij - m)`` for every pixel vector, vectorised as a single
@@ -117,23 +118,47 @@ def project(pixels: np.ndarray, basis: PCTBasis, *,
     ``compute_dtype`` selects the precision of the centring and the matrix
     product (the fast mode runs them in float32 and widens the result back);
     the float64 default is the seed arithmetic, bit for bit.
+
+    ``out`` optionally receives the result: a preallocated float64
+    ``(pixels, n_components)`` array the matrix product writes into directly
+    (the zero-copy tile path points it at a shared-memory view).  The same
+    BLAS call runs on the same operands, so the bytes are identical to the
+    allocating path -- ``out`` only removes the per-call output allocation.
     """
-    pixels = np.asarray(pixels, dtype=np.float64)
-    if pixels.ndim != 2 or pixels.shape[1] != basis.bands:
+    source = np.asarray(pixels)
+    if source.ndim != 2 or source.shape[1] != basis.bands:
         raise ValueError(
-            f"pixels of shape {pixels.shape} do not match basis with {basis.bands} bands")
+            f"pixels of shape {source.shape} do not match basis with {basis.bands} bands")
+    if out is not None and (out.shape != (source.shape[0], basis.n_components)
+                            or out.dtype != np.float64):
+        raise ValueError(
+            f"out must be float64 of shape {(source.shape[0], basis.n_components)}; "
+            f"got {out.dtype} {out.shape}")
     dtype = np.dtype(compute_dtype)
     if dtype == np.float64:
-        centred = pixels - basis.mean[None, :]
+        centred = np.asarray(source, dtype=np.float64) - basis.mean[None, :]
+        if out is not None:
+            return np.matmul(centred, basis.components.T, out=out)
         return centred @ basis.components.T
-    centred = pixels.astype(dtype) - basis.mean.astype(dtype)[None, :]
-    return (centred @ basis.components.astype(dtype).T).astype(np.float64)
+    if source.dtype == dtype:
+        # Input already in the compute dtype: skip the float64 round-trip
+        # (exact -- float64 represents every float32 value, so converting
+        # up and back returns the same bits the input held).
+        narrow_pixels = source
+    else:
+        narrow_pixels = np.asarray(source, dtype=np.float64).astype(dtype, copy=False)
+    centred = narrow_pixels - basis.mean.astype(dtype, copy=False)[None, :]
+    narrow = centred @ basis.components.astype(dtype, copy=False).T
+    if out is not None:
+        np.copyto(out, narrow)
+        return out
+    return narrow.astype(np.float64)
 
 
 def project_cube_block(block: np.ndarray, basis: PCTBasis, *,
                        compute_dtype=np.float64) -> np.ndarray:
     """Project a ``(bands, rows, cols)`` sub-cube; returns ``(rows, cols, n_components)``."""
-    block = np.asarray(block, dtype=np.float64)
+    block = np.asarray(block)
     if block.ndim != 3 or block.shape[0] != basis.bands:
         raise ValueError(f"block of shape {block.shape} does not match basis bands {basis.bands}")
     bands, rows, cols = block.shape

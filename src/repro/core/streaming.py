@@ -58,22 +58,23 @@ from ..cluster.metrics import RunMetrics
 from ..config import FusionConfig, ScreeningConfig
 from ..data.cube import CubeError, HyperspectralCube
 from ..data.shared import (OutputPool, SharedComposite, SharedCompositeHandle,
-                           SharedCube, write_output_tile)
+                           SharedCube, output_tile_views)
 from ..scp.pool import PooledProcessBackend, ProcessPool
 from ..scp.registry import BackendSpec
 from ..scp.runtime import Backend
 from ..scp.stages import (PoolStageExecutor, ThreadStageExecutor,
                           ThroughputEWMA, TransportStageExecutor)
 from ..scp.transport import SocketTransport
+from .kernels import kernel_covariance_sum, kernel_project_and_map
 from .partition import (SubcubeSpec, decompose, extract_subcube,
                         reassemble_composite, subcube_pixel_matrix)
 from .pipeline import FusionResult, SpectralScreeningPCT
 from .profiling import stage_timings_from_result
-from .steps.colormap import color_map, component_statistics
+from .steps.colormap import component_statistics
 from .steps.screening import merge_unique_sets, screen_unique_set
-from .steps.statistics import (covariance_matrix, covariance_sum, mean_vector,
+from .steps.statistics import (covariance_matrix, mean_vector,
                                partition_pixel_matrix)
-from .steps.transform import PCTBasis, project, project_cube_block, transformation_matrix
+from .steps.transform import PCTBasis, project, transformation_matrix
 
 #: Backend spec names executed on pool processes, node-agent processes
 #: reached over TCP, and host threads respectively.
@@ -190,49 +191,56 @@ class AdaptiveTileScheduler:
 
 def screen_tile(cube: HyperspectralCube, spec: SubcubeSpec,
                 screening: ScreeningConfig,
-                compute_dtype: str = "float64") -> np.ndarray:
+                compute_dtype: str = "float64",
+                compute: str = "numpy") -> np.ndarray:
     """Stage 1 task: spectral screening of one sub-cube block."""
     block_pixels = subcube_pixel_matrix(extract_subcube(cube, spec))
     return screen_unique_set(block_pixels, screening.angle_threshold,
                              max_unique=screening.max_unique,
                              sample_stride=screening.sample_stride,
-                             compute_dtype=compute_dtype)
+                             compute_dtype=compute_dtype, compute=compute)
 
 
-def covariance_partial(part: np.ndarray, mean: np.ndarray) -> np.ndarray:
+def covariance_partial(part: np.ndarray, mean: np.ndarray,
+                       compute: str = "numpy") -> np.ndarray:
     """Stage 2 task: covariance sum of one unique-set partition."""
-    return covariance_sum(part, mean)
+    return kernel_covariance_sum(part, mean, compute=compute)
 
 
 def project_tile(cube: HyperspectralCube, spec: SubcubeSpec, basis: PCTBasis,
                  n_components: int, normalize: bool, stretch_mean: np.ndarray,
-                 stretch_std: np.ndarray, compute_dtype: str = "float64"):
-    """Stage 3 task: projection + colour mapping of one output tile."""
-    components = project_cube_block(extract_subcube(cube, spec), basis,
-                                    compute_dtype=compute_dtype)[..., :n_components]
-    composite = color_map(components, normalize=normalize,
-                          mean=stretch_mean, std=stretch_std)
-    return components, composite
+                 stretch_std: np.ndarray, compute_dtype: str = "float64",
+                 compute: str = "numpy"):
+    """Stage 3 task: fused projection + colour mapping of one output tile."""
+    return kernel_project_and_map(
+        extract_subcube(cube, spec), basis, n_components=n_components,
+        normalize=normalize, stretch_mean=stretch_mean,
+        stretch_std=stretch_std, compute_dtype=compute_dtype, compute=compute)
 
 
 def project_tile_into(cube: HyperspectralCube, spec: SubcubeSpec,
                       basis: PCTBasis, n_components: int, normalize: bool,
                       stretch_mean: np.ndarray, stretch_std: np.ndarray,
                       out: SharedCompositeHandle,
-                      compute_dtype: str = "float64") -> Tuple[int, int]:
+                      compute_dtype: str = "float64",
+                      compute: str = "numpy") -> Tuple[int, int]:
     """Stage 3 task, zero-copy variant: write the tile into ``out`` directly.
 
-    The computed arrays never travel through the result spool -- the tile is
-    written straight into the shared-memory output placement and only the
-    row range is acknowledged back.  Safe under crash retry: tiles own
-    disjoint row ranges and the computation is deterministic, so re-running
-    a killed task rewrites the same bytes.
+    The kernel's ``out=`` path computes straight into the shared-memory
+    output placement views (no tile-sized temporaries, nothing through the
+    result spool) and only the row range is acknowledged back.  Safe under
+    crash retry: tiles own disjoint row ranges and the computation is
+    deterministic, so re-running a killed task rewrites the same bytes.
     """
-    components, composite = project_tile(cube, spec, basis, n_components,
-                                         normalize, stretch_mean, stretch_std,
-                                         compute_dtype)
-    return write_output_tile(out, spec.row_start, spec.row_stop,
-                             components, composite)
+    with output_tile_views(out, spec.row_start, spec.row_stop) as views:
+        components_view, composite_view = views
+        kernel_project_and_map(
+            extract_subcube(cube, spec), basis,
+            n_components=n_components, normalize=normalize,
+            stretch_mean=stretch_mean, stretch_std=stretch_std,
+            compute_dtype=compute_dtype, compute=compute,
+            components_out=components_view, composite_out=composite_view)
+    return spec.row_start, spec.row_stop
 
 
 # ---------------------------------------------------------------------------
@@ -330,6 +338,7 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
                                      full_projection=full_projection)
     screening = config.screening
     compute_dtype = config.compute_dtype
+    compute = config.compute
     workers = max(config.partition.workers, 1)
     subcubes = min(config.partition.effective_subcubes, cube.rows)
     # Driver-side wall clock per stage (the stages barrier on _gather, so
@@ -344,12 +353,12 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
     # Stage 1: per-sub-cube screening (parallel), merged in block order.
     stage_marks["screening"] = time.perf_counter()
     screen_futures = [executor.submit("screen", screen_tile, cube, spec,
-                                      screening, compute_dtype)
+                                      screening, compute_dtype, compute)
                       for spec in decompose(cube.rows, subcubes)]
     unique = merge_unique_sets(_gather(screen_futures), screening.angle_threshold,
                                max_unique=screening.max_unique,
                                rescreen=screening.rescreen_merge,
-                               compute_dtype=compute_dtype)
+                               compute_dtype=compute_dtype, compute=compute)
     _stage_done("screening", stage_marks["screening"])
 
     # Barrier A: global mean, then the unique-set partition of step 4.
@@ -360,7 +369,8 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
 
     # Stage 2: per-partition covariance sums (parallel), combined in order.
     stage_marks["covariance"] = time.perf_counter()
-    cov_futures = [executor.submit("covariance", covariance_partial, part, mean)
+    cov_futures = [executor.submit("covariance", covariance_partial, part,
+                                   mean, compute)
                    for part in parts]
     covariance = covariance_matrix(_gather(cov_futures),
                                    total_pixels=unique.shape[0])
@@ -399,12 +409,13 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
                 return executor.submit("project", project_tile_into, cube,
                                        spec, basis, n_components, normalize,
                                        stretch_mean, stretch_std, out_handle,
-                                       compute_dtype)
+                                       compute_dtype, compute)
         else:
             def submit_tile(spec: SubcubeSpec):
                 return executor.submit("project", project_tile, cube, spec,
                                        basis, n_components, normalize,
-                                       stretch_mean, stretch_std, compute_dtype)
+                                       stretch_mean, stretch_std,
+                                       compute_dtype, compute)
 
         stage_marks["projection"] = time.perf_counter()
         tiles, payloads = _drive_projection(submit_tile, cube.rows, workers,
@@ -469,6 +480,7 @@ def run_pipeline(cube: HyperspectralCube, config: FusionConfig, executor, *,
         "zero_copy": use_zero_copy,
         "stage_tasks": len(screen_futures) + len(cov_futures) + len(tiles),
         "compute_dtype": compute_dtype,
+        "compute": compute,
         "stage_seconds": stage_seconds,
         "stage_rows": stage_rows,
         "stage_invocations": stage_invocations,

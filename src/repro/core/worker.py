@@ -33,11 +33,12 @@ from ..scp.runtime import Context
 from .messages import (PHASE_COVARIANCE, PHASE_SCREEN, PHASE_TRANSFORM,
                        PORT_HELLO, PORT_RESULT, PORT_TASK, StopWork,
                        TaskAssignment, TaskResult, WorkerHello)
+from .kernels import kernel_covariance_sum, kernel_project_and_map
 from .partition import subcube_pixel_matrix
-from .steps.colormap import color_map_flops, composite_from_block
+from .steps.colormap import color_map_flops
 from .steps.screening import screen_unique_set, screening_flops
-from .steps.statistics import covariance_sum, covariance_sum_flops
-from .steps.transform import project_cube_block, projection_flops
+from .steps.statistics import covariance_sum_flops
+from .steps.transform import projection_flops
 
 
 def _compute_screen(task: TaskAssignment, config: FusionConfig) -> Compute:
@@ -54,31 +55,37 @@ def _compute_screen(task: TaskAssignment, config: FusionConfig) -> Compute:
                    args=(pixels, screening.angle_threshold),
                    kwargs={"max_unique": screening.max_unique,
                            "sample_stride": screening.sample_stride,
-                           "compute_dtype": config.compute_dtype},
+                           "compute_dtype": config.compute_dtype,
+                           "compute": config.compute},
                    flops=flops_of, phase="screening")
 
 
-def _compute_covariance(task: TaskAssignment) -> Compute:
+def _compute_covariance(task: TaskAssignment, config: FusionConfig) -> Compute:
     """Build the Compute effect for a covariance-sum task."""
     pixels = task.data["pixels"]
     mean = task.data["mean"]
-    return Compute(fn=covariance_sum, args=(pixels, mean),
+    return Compute(fn=kernel_covariance_sum, args=(pixels, mean),
+                   kwargs={"compute": config.compute},
                    flops=covariance_sum_flops(pixels.shape[0], pixels.shape[1]),
                    phase="covariance")
 
 
 def _transform_and_map(block: np.ndarray, basis, stretch_mean, stretch_std,
-                       keep_components: int,
-                       compute_dtype: str = "float64") -> Dict[str, np.ndarray]:
+                       keep_components: int, compute_dtype: str = "float64",
+                       compute: str = "numpy") -> Dict[str, np.ndarray]:
     """Steps 7-8 fused into one call: project a sub-cube and colour-map it.
 
     The projection uses every eigenvector carried by ``basis`` (the paper's
     full transform); only the leading ``keep_components`` planes are kept in
     the result to bound the size of the message sent back to the manager.
+    The named compute kernel does the fusing, so forked and socket workers
+    pick it by name rather than by a pickled function.
     """
-    components = project_cube_block(block, basis, compute_dtype=compute_dtype)
-    rgb = composite_from_block(components, mean=stretch_mean, std=stretch_std)
-    return {"components": components[..., :keep_components], "rgb": rgb}
+    components, rgb = kernel_project_and_map(
+        block, basis, n_components=keep_components, normalize=True,
+        stretch_mean=stretch_mean, stretch_std=stretch_std,
+        compute_dtype=compute_dtype, compute=compute)
+    return {"components": components, "rgb": rgb}
 
 
 def _compute_transform(task: TaskAssignment, config: FusionConfig) -> Compute:
@@ -93,7 +100,7 @@ def _compute_transform(task: TaskAssignment, config: FusionConfig) -> Compute:
              + color_map_flops(n_pixels))
     return Compute(fn=_transform_and_map,
                    args=(block, basis, stretch_mean, stretch_std, keep,
-                         config.compute_dtype),
+                         config.compute_dtype, config.compute),
                    flops=flops, phase="transform")
 
 
@@ -138,7 +145,7 @@ def worker_program(ctx: Context, *, manager: str = "manager",
             result_data = {"unique": unique, "pixels_screened": int(
                 task.data["block"].shape[1] * task.data["block"].shape[2])}
         elif task.phase == PHASE_COVARIANCE:
-            cov = yield _compute_covariance(task)
+            cov = yield _compute_covariance(task, config)
             result_data = {"cov_sum": cov, "count": int(task.data["pixels"].shape[0])}
         elif task.phase == PHASE_TRANSFORM:
             block_result = yield _compute_transform(task, config)

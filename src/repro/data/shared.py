@@ -43,9 +43,10 @@ from __future__ import annotations
 import atexit
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import Callable, Dict, List, Protocol, Tuple
+from typing import Callable, Dict, Iterator, List, Protocol, Tuple
 
 import numpy as np
 
@@ -553,6 +554,32 @@ def write_output_tile(handle: SharedCompositeHandle, row_start: int,
     return row_start, row_stop
 
 
+@contextmanager
+def output_tile_views(handle: SharedCompositeHandle, row_start: int,
+                      row_stop: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Worker-side: the mapped views of one tile's output rows, pinned.
+
+    Yields ``(components_view, composite_view)`` pointing straight into the
+    shared placement, so a compute kernel's ``out=`` path writes the tile
+    without the compute-then-copy of :func:`write_output_tile`.  The
+    placement stays pinned (attach-cached, safe against eviction) for the
+    duration of the ``with`` block; the same disjoint-row-ownership and
+    deterministic-retry arguments apply -- rewriting a killed tile's range
+    produces the same bytes.
+    """
+    placement = _attach_output(handle)
+    try:
+        if placement.closed:
+            raise CubeError("output placement segment has been released")
+        if not 0 <= row_start < row_stop <= placement.rows:
+            raise ValueError(f"tile rows {row_start}:{row_stop} out of range "
+                             f"for a {placement.rows}-row placement")
+        yield (placement.components[row_start:row_stop],
+               placement.composite[row_start:row_stop])
+    finally:
+        placement.unpin()
+
+
 def _evict_attachment(name: str) -> None:
     """Drop one cached attachment (the owner unlinked its segment)."""
     with _attachments_lock:
@@ -710,5 +737,6 @@ def share_cube_params(params: Dict[str, object]) -> Tuple[Dict[str, object], lis
 
 __all__ = ["SharedCube", "SharedCubeHandle", "SharedComposite",
            "SharedCompositeHandle", "OutputPool", "SegmentRegistry",
-           "share_cube_params", "write_output_tile", "release_attachments",
+           "share_cube_params", "write_output_tile", "output_tile_views",
+           "release_attachments",
            "owned_segment_names", "sweep_owned_segments"]

@@ -44,7 +44,7 @@ FORKSAFE_SANCTUARY = ("repro/forksafe.py",)
 #: Parity-critical kernels: bit-identical composites across engines are
 #: the paper's correctness claim, continuously fuzzed by repro.paritylab
 #: (PR 6).  Reduction order must be deterministic here.
-PARITY_CRITICAL_PACKAGES = ("repro/core/steps",)
+PARITY_CRITICAL_PACKAGES = ("repro/core/steps", "repro/core/kernels")
 PARITY_CRITICAL_MODULES = ("repro/core/streaming.py",)
 
 

@@ -40,6 +40,7 @@ import numpy as np
 from ..api.facade import fuse
 from ..api.request import FusionReport
 from ..config import FusionConfig, PartitionConfig, ScreeningConfig
+from ..core.kernels import NumbaBackend
 from ..data.cube import HyperspectralCube
 from ..data.hydice import HydiceConfig, HydiceGenerator
 from ..data.scene import target_capacity
@@ -139,6 +140,7 @@ class ParityCase:
     workers: int = 2
     subcubes: int = 4
     compute_dtype: str = "float64"
+    compute: str = "numpy"
     combos: Tuple[ComboSpec, ...] = ()
 
     # ------------------------------------------------------------- identity
@@ -160,7 +162,8 @@ class ParityCase:
                                       max_unique=self.max_unique),
             partition=PartitionConfig(workers=self.workers,
                                       subcubes=self.subcubes),
-            compute_dtype=self.compute_dtype)
+            compute_dtype=self.compute_dtype,
+            compute=self.compute)
 
     # --------------------------------------------------------- serialisation
     def to_dict(self) -> Dict[str, object]:
@@ -174,6 +177,7 @@ class ParityCase:
                           "max_unique": self.max_unique},
             "partition": {"workers": self.workers, "subcubes": self.subcubes},
             "compute_dtype": self.compute_dtype,
+            "compute": self.compute,
             "combos": [combo.to_dict() for combo in self.combos],
         }
 
@@ -195,6 +199,7 @@ class ParityCase:
                    workers=int(partition["workers"]),
                    subcubes=int(partition["subcubes"]),
                    compute_dtype=str(data.get("compute_dtype", "float64")),
+                   compute=str(data.get("compute", "numpy")),
                    combos=tuple(ComboSpec.from_dict(c)
                                 for c in data.get("combos", [])))
 
@@ -266,6 +271,10 @@ def sample_case(rng: random.Random) -> ParityCase:
         workers=workers,
         subcubes=workers * rng.choice([1, 2, 3]),
         compute_dtype="float64" if rng.random() < 0.7 else "float32",
+        # The jit tier joins the sampled space only where numba can actually
+        # compile; degraded-to-numpy runs would all be the numpy point.
+        compute=("numba" if NumbaBackend.available() and rng.random() < 0.4
+                 else "numpy"),
         combos=tuple(combos))
 
 
@@ -463,6 +472,8 @@ def _shrink_candidates(case: ParityCase) -> Iterator[ParityCase]:
         yield replace(case, vehicles=1, camouflaged=0)
     if case.vehicles > 0:
         yield replace(case, vehicles=0, camouflaged=0)
+    if case.compute != "numpy":
+        yield replace(case, compute="numpy")
     # Knob simplification: a repro that fires without the optional knobs is
     # a strictly better repro.
     simplified = tuple(replace(combo, tile_rows=None, adaptive_tiles=False,

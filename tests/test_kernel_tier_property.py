@@ -1,0 +1,496 @@
+"""Property suite for the pluggable compute-kernel tier (PR 10 tentpole).
+
+The tier's contract (:mod:`repro.core.kernels.registry`): every registered
+compute backend produces **bit-identical** float64 results to the unfused
+step functions, and float32 runs the documented tolerance tier through the
+same narrowed arithmetic -- the ``compute=`` policy may change throughput,
+never bytes.  This suite asserts that contract kernel by kernel:
+
+* the fused centre+SYRK covariance partial against
+  :func:`repro.core.steps.statistics.covariance_sum`;
+* the scratch-centred projection (matrix, block and ``out=`` forms) against
+  :func:`repro.core.steps.transform.project` / ``project_cube_block``;
+* the fused step-7/8 tile (``project_and_map``, with and without the
+  zero-copy ``*_out`` destinations) against ``project_cube_block`` followed
+  by :func:`repro.core.steps.colormap.color_map`;
+* the screening survivor elimination across backends.
+
+The ``numba`` tier is exercised *directly* through its plain-Python kernel
+bodies -- ``get_compute("numba")`` applies no degradation policy, and the
+bodies are ordinary numpy-semantics functions that ``@njit`` merely
+compiles when numba is present -- so the jit tier's arithmetic is verified
+even on hosts without numba.  Registry mechanics (unknown names, duplicate
+registration, caching, the degrade-with-warning policy) and the policy
+threading through ``FusionConfig``/``FusionRequest``/the engines and
+paritylab round out the suite.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.config import ConfigurationError, FusionConfig
+from repro.core.kernels import (NumbaBackend, NumpyBackend, compute_names,
+                                get_compute, kernel_covariance_sum,
+                                kernel_project_and_map, kernel_project_block,
+                                register_compute, resolve_compute)
+from repro.core.kernels import registry as kernel_registry
+from repro.core.steps.colormap import color_map, component_statistics
+from repro.core.steps.statistics import covariance_sum, mean_vector
+from repro.core.steps.screening import screen_unique_set
+from repro.core.steps.statistics import covariance_matrix
+from repro.core.steps.transform import (project, project_cube_block,
+                                        transformation_matrix)
+from repro.data.hydice import HydiceConfig, HydiceGenerator
+
+COMMON_SETTINGS = dict(max_examples=40, deadline=None)
+
+#: Both registered tiers; the numba entries run the plain-Python kernel
+#: bodies when numba is not installed (see the module docstring).
+BACKENDS = [get_compute("numpy"), get_compute("numba")]
+
+
+def pixel_matrices(min_pixels=4, max_pixels=300, min_bands=3, max_bands=24):
+    """Strategy producing low-rank-plus-noise (pixels, bands) matrices,
+    the structure hyper-spectral scenes actually have (a few materials
+    mixed everywhere)."""
+    return st.tuples(
+        st.integers(min_pixels, max_pixels),
+        st.integers(min_bands, max_bands),
+        st.integers(0, 2**31 - 1),
+    ).map(lambda args: _make_pixels(*args))
+
+
+def _make_pixels(n, bands, seed):
+    rng = np.random.default_rng(seed)
+    latent = rng.random((n, min(4, bands)))
+    mixing = rng.random((min(4, bands), bands)) + 0.05
+    return latent @ mixing + 0.01 + 0.05 * rng.random((n, bands))
+
+
+def _basis_for(pixels, n_components=None):
+    mean = mean_vector(pixels)
+    covariance = covariance_matrix([covariance_sum(pixels, mean)],
+                                   total_pixels=pixels.shape[0])
+    return transformation_matrix(covariance, mean, n_components=n_components)
+
+
+def _block_from(pixels, rows):
+    """Reshape a pixel matrix into the (bands, rows, cols) cube-block form."""
+    n, bands = pixels.shape
+    cols = n // rows
+    return pixels[:rows * cols].T.reshape(bands, rows, cols).copy()
+
+
+# --------------------------------------------------------------------------
+# Covariance kernel
+# --------------------------------------------------------------------------
+
+class TestCovarianceKernel:
+    @given(pixels=pixel_matrices())
+    @settings(**COMMON_SETTINGS)
+    def test_bit_identical_to_step_function(self, pixels):
+        mean = mean_vector(pixels)
+        reference = covariance_sum(pixels, mean)
+        for backend in BACKENDS:
+            np.testing.assert_array_equal(
+                backend.covariance_sum(pixels, mean), reference,
+                err_msg=f"compute={backend.name!r}")
+
+    @given(pixels=pixel_matrices(max_pixels=100))
+    @settings(**COMMON_SETTINGS)
+    def test_scratch_reuse_does_not_leak_between_calls(self, pixels):
+        # Two different slices back to back reuse the pooled scratch; each
+        # result must still match a fresh step-function evaluation.
+        mean = mean_vector(pixels)
+        half = pixels.shape[0] // 2 or 1
+        for backend in BACKENDS:
+            first = backend.covariance_sum(pixels[:half], mean)
+            np.testing.assert_array_equal(
+                first, covariance_sum(pixels[:half], mean))
+            second = backend.covariance_sum(pixels[half:half + half], mean)
+            np.testing.assert_array_equal(
+                second, covariance_sum(pixels[half:half + half], mean))
+
+    def test_input_validation_matches_step_function(self):
+        for backend in BACKENDS:
+            with pytest.raises(ValueError, match="2-D"):
+                backend.covariance_sum(np.ones(5), np.ones(5))
+            with pytest.raises(ValueError, match="does not match"):
+                backend.covariance_sum(np.ones((4, 5)), np.ones(3))
+
+
+# --------------------------------------------------------------------------
+# Projection kernels
+# --------------------------------------------------------------------------
+
+class TestProjectionKernels:
+    @given(pixels=pixel_matrices())
+    @settings(**COMMON_SETTINGS)
+    def test_project_bit_identical_float64(self, pixels):
+        basis = _basis_for(pixels)
+        reference = project(pixels, basis)
+        for backend in BACKENDS:
+            np.testing.assert_array_equal(
+                backend.project(pixels, basis), reference,
+                err_msg=f"compute={backend.name!r}")
+
+    @given(pixels=pixel_matrices())
+    @settings(**COMMON_SETTINGS)
+    def test_project_out_path_is_identical(self, pixels):
+        basis = _basis_for(pixels)
+        reference = project(pixels, basis)
+        for backend in BACKENDS:
+            out = np.empty((pixels.shape[0], basis.n_components))
+            returned = backend.project(pixels, basis, out=out)
+            assert returned is out
+            np.testing.assert_array_equal(out, reference)
+
+    @given(pixels=pixel_matrices())
+    @settings(**COMMON_SETTINGS)
+    def test_project_float32_matches_reference_tier(self, pixels):
+        # float32 is the tolerance tier against *float64*, but across
+        # backends the narrowed arithmetic itself is still the same ops in
+        # the same order -- so backend-vs-step-function stays exact.
+        basis = _basis_for(pixels)
+        reference = project(pixels, basis, compute_dtype=np.float32)
+        for backend in BACKENDS:
+            np.testing.assert_array_equal(
+                backend.project(pixels, basis, compute_dtype=np.float32),
+                reference, err_msg=f"compute={backend.name!r}")
+
+    @given(pixels=pixel_matrices(min_pixels=12),
+           rows=st.integers(2, 6),
+           keep_all=st.booleans())
+    @settings(**COMMON_SETTINGS)
+    def test_project_block_bit_identical(self, pixels, rows, keep_all):
+        n_components = None if keep_all else 3
+        basis = _basis_for(pixels, n_components=n_components)
+        block = _block_from(pixels, rows)
+        reference = project_cube_block(block, basis)
+        for backend in BACKENDS:
+            np.testing.assert_array_equal(
+                backend.project_block(block, basis), reference,
+                err_msg=f"compute={backend.name!r}")
+
+    def test_shape_mismatch_raises(self):
+        pixels = _make_pixels(20, 6, seed=0)
+        basis = _basis_for(pixels)
+        for backend in BACKENDS:
+            with pytest.raises(ValueError, match="do not match"):
+                backend.project(pixels[:, :4], basis)
+            with pytest.raises(ValueError, match="does not match"):
+                backend.project_block(np.ones((4, 2, 2)), basis)
+
+
+# --------------------------------------------------------------------------
+# Fused step-7/8 tile kernel
+# --------------------------------------------------------------------------
+
+class TestProjectAndMap:
+    @given(pixels=pixel_matrices(min_pixels=12, min_bands=3),
+           rows=st.integers(2, 6),
+           normalize=st.booleans(),
+           keep_all=st.booleans())
+    @settings(**COMMON_SETTINGS)
+    def test_bit_identical_to_unfused_steps(self, pixels, rows, normalize,
+                                            keep_all):
+        n_components = pixels.shape[1] if keep_all else 3
+        basis = _basis_for(pixels, n_components=n_components)
+        block = _block_from(pixels, rows)
+        stretch_mean, stretch_std = component_statistics(
+            project(pixels, basis)[:, :3])
+
+        planes = project_cube_block(block, basis)
+        ref_components = planes[..., :n_components]
+        ref_composite = color_map(planes[..., :3], normalize=normalize,
+                                  mean=stretch_mean, std=stretch_std)
+        for backend in BACKENDS:
+            components, composite = backend.project_and_map(
+                block, basis, n_components=n_components, normalize=normalize,
+                stretch_mean=stretch_mean, stretch_std=stretch_std)
+            np.testing.assert_array_equal(components, ref_components,
+                                          err_msg=f"compute={backend.name!r}")
+            np.testing.assert_array_equal(composite, ref_composite,
+                                          err_msg=f"compute={backend.name!r}")
+
+    @given(pixels=pixel_matrices(min_pixels=12, min_bands=3),
+           rows=st.integers(2, 6))
+    @settings(**COMMON_SETTINGS)
+    def test_out_destinations_receive_identical_bytes(self, pixels, rows):
+        # The zero-copy path hands the kernel views into the shared-memory
+        # placement; the bytes written there must equal the allocating path.
+        basis = _basis_for(pixels, n_components=3)
+        block = _block_from(pixels, rows)
+        stretch_mean, stretch_std = component_statistics(
+            project(pixels, basis)[:, :3])
+        cols = block.shape[2]
+        for backend in BACKENDS:
+            reference_components, reference_composite = backend.project_and_map(
+                block, basis, n_components=3, normalize=True,
+                stretch_mean=stretch_mean, stretch_std=stretch_std)
+            components_out = np.empty((rows, cols, 3))
+            composite_out = np.empty((rows, cols, 3))
+            returned = backend.project_and_map(
+                block, basis, n_components=3, normalize=True,
+                stretch_mean=stretch_mean, stretch_std=stretch_std,
+                components_out=components_out, composite_out=composite_out)
+            assert returned[0] is components_out
+            assert returned[1] is composite_out
+            np.testing.assert_array_equal(components_out, reference_components)
+            np.testing.assert_array_equal(composite_out, reference_composite)
+
+    def test_full_rank_components_do_not_alias_the_scratch(self):
+        # At full projection rank the retained slice spans the whole pooled
+        # product buffer; a later call must not mutate the earlier result.
+        pixels = _make_pixels(48, 5, seed=1)
+        basis = _basis_for(pixels, n_components=5)
+        block = _block_from(pixels, rows=4)
+        stretch_mean, stretch_std = component_statistics(
+            project(pixels, basis)[:, :3])
+        for backend in BACKENDS:
+            first, _ = backend.project_and_map(
+                block, basis, n_components=5, normalize=True,
+                stretch_mean=stretch_mean, stretch_std=stretch_std)
+            snapshot = first.copy()
+            backend.project_and_map(
+                2.0 * block, basis, n_components=5, normalize=True,
+                stretch_mean=stretch_mean, stretch_std=stretch_std)
+            np.testing.assert_array_equal(first, snapshot)
+
+    @given(pixels=pixel_matrices(min_pixels=12, min_bands=3),
+           rows=st.integers(2, 5))
+    @settings(**COMMON_SETTINGS)
+    def test_picklable_dispatch_surface(self, pixels, rows):
+        # The kernel_* module functions are what worker tasks actually call
+        # (compute travels as a name, never a pickled function).
+        basis = _basis_for(pixels, n_components=3)
+        block = _block_from(pixels, rows)
+        mean = mean_vector(pixels)
+        stretch_mean, stretch_std = component_statistics(
+            project(pixels, basis)[:, :3])
+        np.testing.assert_array_equal(
+            kernel_covariance_sum(pixels, mean, compute="numpy"),
+            covariance_sum(pixels, mean))
+        np.testing.assert_array_equal(
+            kernel_project_block(block, basis, compute="numpy"),
+            project_cube_block(block, basis))
+        components, composite = kernel_project_and_map(
+            block, basis, n_components=3, normalize=True,
+            stretch_mean=stretch_mean, stretch_std=stretch_std,
+            compute="numpy")
+        planes = project_cube_block(block, basis)
+        np.testing.assert_array_equal(components, planes[..., :3])
+        np.testing.assert_array_equal(
+            composite, color_map(planes[..., :3], normalize=True,
+                                 mean=stretch_mean, std=stretch_std))
+
+
+# --------------------------------------------------------------------------
+# Survivor elimination
+# --------------------------------------------------------------------------
+
+class TestEliminateSurvivors:
+    @given(pixels=pixel_matrices(max_pixels=120),
+           threshold=st.floats(0.01, 0.6),
+           room=st.one_of(st.none(), st.integers(0, 20)))
+    @settings(**COMMON_SETTINGS)
+    def test_backends_make_identical_decisions(self, pixels, threshold, room):
+        norms = np.linalg.norm(pixels, axis=1, keepdims=True)
+        survivors = pixels / np.where(norms > 0, norms, 1.0)
+        rows = np.arange(survivors.shape[0], dtype=np.intp)
+        cos_threshold = np.float64(np.cos(threshold))
+        ref_admitted, ref_rows = get_compute("numpy").eliminate_survivors(
+            survivors, rows, cos_threshold, room=room)
+        admitted, admitted_rows = get_compute("numba").eliminate_survivors(
+            survivors, rows, cos_threshold, room=room)
+        np.testing.assert_array_equal(admitted, ref_admitted)
+        np.testing.assert_array_equal(admitted_rows, ref_rows)
+
+    @given(pixels=pixel_matrices(max_pixels=150),
+           threshold=st.floats(0.01, 0.4),
+           cap=st.one_of(st.none(), st.integers(1, 40)),
+           chunk_size=st.integers(1, 96))
+    @settings(**COMMON_SETTINGS)
+    def test_screening_output_is_compute_invariant(self, pixels, threshold,
+                                                   cap, chunk_size):
+        # End-to-end through screen_unique_set: the compute policy (real jit
+        # tier with numba installed, degraded-to-numpy without) never changes
+        # the unique set.
+        reference = screen_unique_set(pixels, threshold, max_unique=cap,
+                                      chunk_size=chunk_size, compute="numpy")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            via_policy = screen_unique_set(pixels, threshold, max_unique=cap,
+                                           chunk_size=chunk_size,
+                                           compute="numba")
+        np.testing.assert_array_equal(via_policy, reference)
+
+    def test_room_zero_admits_nothing(self):
+        survivors = np.eye(4)
+        rows = np.arange(4, dtype=np.intp)
+        for backend in BACKENDS:
+            admitted, admitted_rows = backend.eliminate_survivors(
+                survivors, rows, np.float64(0.9), room=0)
+            assert admitted.shape == (0, 4)
+            assert admitted_rows.shape == (0,)
+            assert admitted_rows.dtype == np.intp
+
+
+# --------------------------------------------------------------------------
+# Registry mechanics
+# --------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_compute_names_sorted_and_complete(self):
+        names = compute_names()
+        assert names == sorted(names)
+        assert {"numpy", "numba"} <= set(names)
+        assert repro.compute_names() == names
+
+    def test_unknown_name_error_lists_backends(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_compute("cupyy")
+        message = str(excinfo.value)
+        assert "unknown compute backend 'cupyy'" in message
+        for name in compute_names():
+            assert name in message
+
+    def test_instances_are_cached(self):
+        assert get_compute("numpy") is get_compute("numpy")
+        assert isinstance(get_compute("numpy"), NumpyBackend)
+        assert isinstance(get_compute("numba"), NumbaBackend)
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_compute("numpy")
+            class Rogue(kernel_registry.ComputeBackend):
+                pass
+        assert kernel_registry._COMPUTE_BACKENDS["numpy"] is NumpyBackend
+
+    def test_registry_is_open_for_new_tiers(self):
+        # The documented extension point: one decorated class, like engines.
+        @register_compute("test-tier")
+        class TestTier(kernel_registry.ComputeBackend):
+            fallback = "numpy"
+
+            @classmethod
+            def available(cls):
+                return False
+
+        try:
+            assert "test-tier" in compute_names()
+            kernel_registry._DEGRADED_WARNED.discard("test-tier")
+            with pytest.warns(RuntimeWarning, match="degrading to 'numpy'"):
+                backend = resolve_compute("test-tier")
+            assert isinstance(backend, NumpyBackend)
+        finally:
+            kernel_registry._COMPUTE_BACKENDS.pop("test-tier", None)
+            kernel_registry._INSTANCES.pop("test-tier", None)
+            kernel_registry._DEGRADED_WARNED.discard("test-tier")
+
+    def test_base_class_kernels_are_abstract(self):
+        backend = kernel_registry.ComputeBackend()
+        pixels = np.ones((2, 2))
+        with pytest.raises(NotImplementedError):
+            backend.covariance_sum(pixels, np.ones(2))
+
+
+@pytest.mark.skipif(NumbaBackend.available(),
+                    reason="degradation only fires when numba is missing")
+class TestDegradation:
+    def test_resolve_degrades_to_numpy_with_one_warning(self):
+        kernel_registry._DEGRADED_WARNED.discard("numba")
+        try:
+            with pytest.warns(RuntimeWarning) as caught:
+                backend = resolve_compute("numba")
+            assert isinstance(backend, NumpyBackend)
+            messages = [str(w.message) for w in caught
+                        if issubclass(w.category, RuntimeWarning)]
+            assert any("degrading to 'numpy'" in m for m in messages)
+            assert any("repro-fusion[accel]" in m for m in messages)
+            # Warned once per process: the second resolution is silent.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert isinstance(resolve_compute("numba"), NumpyBackend)
+        finally:
+            kernel_registry._DEGRADED_WARNED.add("numba")
+
+    def test_get_compute_applies_no_degradation(self):
+        # Selection and degradation are separate: get_compute returns the
+        # real numba tier (whose plain-Python bodies this suite runs).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert isinstance(get_compute("numba"), NumbaBackend)
+
+
+# --------------------------------------------------------------------------
+# Policy threading: config, request, engines, paritylab
+# --------------------------------------------------------------------------
+
+class TestPolicyThreading:
+    def test_config_validates_compute_name(self):
+        with pytest.raises(ConfigurationError, match="compute must be one of"):
+            FusionConfig(compute="fortran")
+        assert FusionConfig().compute == "numpy"
+        assert FusionConfig(compute="numba").compute == "numba"
+
+    def test_request_merges_compute_policy(self):
+        cube = HydiceGenerator(HydiceConfig(bands=8, rows=24, cols=24,
+                                            seed=2)).generate()
+        assert repro.FusionRequest(cube).resolved_config().compute == "numpy"
+        request = repro.FusionRequest(cube, compute="numba")
+        assert request.resolved_config().compute == "numba"
+        base = FusionConfig(compute="numba")
+        assert repro.FusionRequest(
+            cube, config=base).resolved_config().compute == "numba"
+
+    def test_engines_are_compute_invariant_and_echo_the_policy(self):
+        cube = HydiceGenerator(HydiceConfig(bands=8, rows=24, cols=24,
+                                            seed=3)).generate()
+        reference = repro.fuse(cube, compute="numpy")
+        assert reference.result.metadata["compute"] == "numpy"
+        with warnings.catch_warnings():
+            # Degraded-to-numpy on hosts without numba (warning already
+            # asserted above); with numba installed this runs the jit tier.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            via_numba = repro.fuse(cube, compute="numba")
+            pipelined = repro.fuse(cube, engine="pipeline", backend="local:2",
+                                   workers=2, compute="numba")
+        assert via_numba.result.metadata["compute"] == "numba"
+        assert pipelined.result.metadata["compute"] == "numba"
+        np.testing.assert_array_equal(via_numba.composite, reference.composite)
+        matched = repro.fuse(cube, workers=2, compute="numpy")
+        np.testing.assert_array_equal(pipelined.composite, matched.composite)
+
+    def test_parity_case_carries_the_compute_policy(self):
+        from repro.paritylab.harness import ParityCase, sample_case
+        import random
+
+        case = ParityCase(bands=8, rows=32, cols=32, scene_seed=1,
+                          compute="numba")
+        assert case.config().compute == "numba"
+        assert ParityCase.from_dict(case.to_dict()) == case
+        assert case.case_id() != ParityCase(bands=8, rows=32, cols=32,
+                                            scene_seed=1).case_id()
+        # Pre-PR-10 case dicts have no "compute" key; they backfill to the
+        # reference tier.
+        legacy = case.to_dict()
+        del legacy["compute"]
+        assert ParityCase.from_dict(legacy).compute == "numpy"
+        if not NumbaBackend.available():
+            # The sampler never draws a tier that would only run degraded.
+            rng = random.Random(7)
+            assert all(sample_case(rng).compute == "numpy" for _ in range(25))
+
+    def test_parity_shrink_prefers_the_reference_tier(self):
+        from repro.paritylab.harness import ParityCase, _shrink_candidates
+
+        case = ParityCase(bands=8, rows=32, cols=32, scene_seed=1,
+                          compute="numba")
+        assert any(candidate.compute == "numpy"
+                   for candidate in _shrink_candidates(case))
